@@ -1,0 +1,73 @@
+// fedca-bench regenerates the FedCA paper's evaluation artifacts (Table 1,
+// Figs. 2–5, 7–10, Sec. 5.5 overheads) on the simulated testbed.
+//
+// Usage:
+//
+//	fedca-bench -exp table1            # one experiment at the default scale
+//	fedca-bench -exp all -scale tiny   # everything, smallest instance
+//	fedca-bench -exp fig7 -scale full -seed 7 -series
+//
+// Scales: tiny (minutes), small (default), full (paper-sized: 128 clients,
+// K = 125 — expect hours of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fedca/internal/experiments"
+	"fedca/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2..fig10b, table1, ovh) or 'all'")
+	scaleName := flag.String("scale", "small", "experiment scale: tiny | small | full")
+	seed := flag.Uint64("seed", 42, "master seed")
+	series := flag.Bool("series", false, "also print full data series for plotting")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s (scale=%s seed=%d, %s) ===\n", id, scale.Name, *seed, time.Since(start).Round(time.Millisecond))
+		fmt.Println(res.Text)
+		if *series {
+			names := make([]string, 0, len(res.Series))
+			for n := range res.Series {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				ys := res.Series[n]
+				xs := make([]float64, len(ys))
+				for i := range xs {
+					xs[i] = float64(i + 1)
+				}
+				fmt.Print(report.Series(id+"/"+n, xs, ys, 0))
+			}
+		}
+	}
+}

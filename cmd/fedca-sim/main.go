@@ -1,0 +1,133 @@
+// fedca-sim runs one federated-learning simulation — one workload under one
+// scheme — and prints a per-round log (virtual time, accuracy, iterations,
+// eager-transmission activity).
+//
+// Usage:
+//
+//	fedca-sim -model cnn -scheme fedca -clients 32 -rounds 50
+//	fedca-sim -model wrn -scheme fedavg -scale tiny -seed 7
+//	fedca-sim -scheme fedavg -compress qsgd7 -log run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedca/internal/baseline"
+	"fedca/internal/compress"
+	"fedca/internal/core"
+	"fedca/internal/expcfg"
+	"fedca/internal/experiments"
+	"fedca/internal/fl"
+	"fedca/internal/rng"
+	"fedca/internal/runlog"
+)
+
+func main() {
+	model := flag.String("model", "cnn", "workload: cnn | lstm | wrn")
+	scheme := flag.String("scheme", "fedca", "scheme: fedavg | fedprox | fedada | fedca | fedca-v1 | fedca-v2 | oort | safa")
+	scaleName := flag.String("scale", "small", "experiment scale: tiny | small | full")
+	clients := flag.Int("clients", 0, "override client count")
+	rounds := flag.Int("rounds", 0, "override round count")
+	seed := flag.Uint64("seed", 42, "master seed")
+	compressSpec := flag.String("compress", "none", "upload compressor: none | qsgd<levels> | topk<percent>")
+	dropout := flag.Float64("dropout", 0, "per-round client dropout probability")
+	logPath := flag.String("log", "", "write a JSON-lines run log to this path")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fail(err)
+	}
+	if *clients > 0 {
+		scale.Clients = *clients
+	}
+	if *rounds > 0 {
+		scale.Rounds = *rounds
+	}
+	w, err := scale.Workload(*model)
+	if err != nil {
+		fail(err)
+	}
+	comp, err := compress.ByName(*compressSpec)
+	if err != nil {
+		fail(err)
+	}
+	if _, isNone := comp.(compress.None); !isNone {
+		w.FL.Compressor = comp
+	}
+	w.FL.DropoutProb = *dropout
+
+	var sch fl.Scheme
+	var fedca *core.Scheme
+	switch *scheme {
+	case "fedavg":
+		sch = baseline.FedAvg{}
+	case "fedprox":
+		sch = baseline.FedProx{Mu: 0.01}
+	case "fedada":
+		sch = baseline.FedAda{K: w.FL.LocalIters, Tradeoff: 0.5}
+	case "oort":
+		sch = baseline.NewOort(w.FL.LocalIters, 0.5, rng.New(*seed).Fork("oort"))
+	case "safa":
+		sch = baseline.NewSAFA(0.5)
+	case "fedca", "fedca-v1", "fedca-v2":
+		var opt core.Options
+		switch *scheme {
+		case "fedca":
+			opt = scale.FedCAOptions()
+		case "fedca-v1":
+			opt = core.V1Options(w.FL.LocalIters)
+		case "fedca-v2":
+			opt = core.V2Options(w.FL.LocalIters)
+		}
+		fedca = core.NewScheme(opt, rng.New(*seed).Fork("scheme"))
+		sch = fedca
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	tb := expcfg.Build(w, scale.Clients, scale.TraceConfig(), *seed)
+	runner, err := tb.NewRunner(sch)
+	if err != nil {
+		fail(err)
+	}
+	var logw *runlog.Writer
+	if *logPath != "" {
+		logw, err = runlog.Create(*logPath)
+		if err != nil {
+			fail(err)
+		}
+		defer logw.Close()
+		if err := logw.WriteHeader(runlog.Header{
+			Model: *model, Scheme: *scheme, Clients: scale.Clients,
+			K: w.FL.LocalIters, Seed: *seed, Alpha: w.Alpha,
+		}); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("model=%s scheme=%s clients=%d K=%d rounds=%d seed=%d compress=%s\n",
+		*model, *scheme, scale.Clients, w.FL.LocalIters, scale.Rounds, *seed, comp.Name())
+	fmt.Printf("%5s %12s %10s %8s %8s %7s %7s\n", "round", "vtime(s)", "dur(s)", "acc", "iters", "eager", "retr")
+	for i := 0; i < scale.Rounds; i++ {
+		r := runner.RunRound()
+		fmt.Printf("%5d %12.1f %10.1f %8.4f %8.1f %7.1f %7.1f\n",
+			r.Round, r.End, r.Duration(), r.Accuracy, r.MeanIterations, r.MeanEagerSent, r.MeanRetrans)
+		if logw != nil {
+			if err := logw.WriteRound(r); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if fedca != nil {
+		st := fedca.Stats()
+		fmt.Printf("fedca: early-stops=%d full-rounds=%d eager=%d retransmissions=%d anchors=%d\n",
+			len(st.EarlyStopIters), st.FullRounds, st.EagerSentTotal, st.RetransmitsTotal, st.AnchorRounds)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fedca-sim:", err)
+	os.Exit(2)
+}

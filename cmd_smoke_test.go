@@ -1,0 +1,77 @@
+package fedca_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandSmoke builds every binary and exercises the happy paths:
+// a tiny simulation with a JSONL log, the experiment list, and the plotter
+// reading the log back. Guarded by -short.
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"fedca-sim", "fedca-bench", "fedca-plot", "fedca-profile"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+
+	logPath := filepath.Join(dir, "run.jsonl")
+	sim := exec.Command(bins["fedca-sim"], "-model", "cnn", "-scheme", "fedavg",
+		"-scale", "tiny", "-clients", "2", "-rounds", "2", "-log", logPath)
+	out, err := sim.CombinedOutput()
+	if err != nil {
+		t.Fatalf("fedca-sim: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "round") {
+		t.Fatalf("fedca-sim output unexpected:\n%s", out)
+	}
+
+	list, err := exec.Command(bins["fedca-bench"], "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fedca-bench -list: %v\n%s", err, list)
+	}
+	for _, id := range []string{"table1", "fig7", "ext-compress"} {
+		if !strings.Contains(string(list), id) {
+			t.Fatalf("fedca-bench -list missing %s:\n%s", id, list)
+		}
+	}
+
+	ovh, err := exec.Command(bins["fedca-bench"], "-exp", "ovh", "-scale", "tiny").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fedca-bench ovh: %v\n%s", err, ovh)
+	}
+	if !strings.Contains(string(ovh), "overhead") {
+		t.Fatalf("ovh output unexpected:\n%s", ovh)
+	}
+
+	plot, err := exec.Command(bins["fedca-plot"], logPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("fedca-plot: %v\n%s", err, plot)
+	}
+	if !strings.Contains(string(plot), "fedavg") {
+		t.Fatalf("plot missing legend:\n%s", plot)
+	}
+
+	// Error paths exit non-zero.
+	if err := exec.Command(bins["fedca-bench"], "-exp", "nope").Run(); err == nil {
+		t.Fatal("fedca-bench with unknown experiment must fail")
+	}
+	if err := exec.Command(bins["fedca-sim"], "-scheme", "nope", "-scale", "tiny").Run(); err == nil {
+		t.Fatal("fedca-sim with unknown scheme must fail")
+	}
+	if err := exec.Command(bins["fedca-plot"]).Run(); err == nil {
+		t.Fatal("fedca-plot without args must fail")
+	}
+}

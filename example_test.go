@@ -1,0 +1,83 @@
+package fedca_test
+
+import (
+	"fmt"
+
+	fedca "fedca"
+)
+
+// The smallest possible FedCA run: assemble a federation and run rounds.
+func ExampleNew() {
+	opts := fedca.DefaultOptions()
+	opts.Clients = 4
+	opts.LocalIters = 5
+	opts.BatchSize = 8
+	opts.TrainSamples = 256
+	opts.TestSamples = 64
+	opts.Seed = 7
+
+	f, err := fedca.New(opts)
+	if err != nil {
+		panic(err)
+	}
+	rounds := f.Run(3)
+	fmt.Println("rounds:", len(rounds))
+	fmt.Println("virtual time advanced:", f.Now() > 0)
+	fmt.Println("accuracy in range:", f.Accuracy() >= 0 && f.Accuracy() <= 1)
+	// Output:
+	// rounds: 3
+	// virtual time advanced: true
+	// accuracy in range: true
+}
+
+// Comparing two schemes on the identical federation (same seed ⇒ same data,
+// partitions, model init and speed traces).
+func ExampleFederation_RunToAccuracy() {
+	run := func(scheme string) fedca.Convergence {
+		opts := fedca.DefaultOptions()
+		opts.Scheme = scheme
+		opts.Clients = 4
+		opts.LocalIters = 8
+		opts.BatchSize = 8
+		opts.TrainSamples = 256
+		opts.TestSamples = 64
+		opts.Seed = 3
+		f, err := fedca.New(opts)
+		if err != nil {
+			panic(err)
+		}
+		return f.RunToAccuracy(0.5, 20)
+	}
+	avg := run("fedavg")
+	ca := run("fedca")
+	fmt.Println("fedavg reached:", avg.Reached)
+	fmt.Println("fedca reached:", ca.Reached)
+	fmt.Println("fedca no slower:", ca.TotalSeconds <= avg.TotalSeconds)
+	// Output:
+	// fedavg reached: true
+	// fedca reached: true
+	// fedca no slower: true
+}
+
+// FedCA's behavioural counters: early stops, eager transmissions and
+// retransmissions accumulated over a run.
+func ExampleFederation_FedCAStats() {
+	opts := fedca.DefaultOptions()
+	opts.Clients = 4
+	opts.LocalIters = 6
+	opts.BatchSize = 8
+	opts.TrainSamples = 256
+	opts.TestSamples = 64
+	opts.FedCA.ProfilePeriod = 2
+	f, err := fedca.New(opts)
+	if err != nil {
+		panic(err)
+	}
+	f.Run(4)
+	stats, ok := f.FedCAStats()
+	fmt.Println("is fedca:", ok)
+	fmt.Println("profiled anchor client-rounds:", stats.AnchorRounds)
+	// Output:
+	// is fedca: true
+	// profiled anchor client-rounds: 8
+}

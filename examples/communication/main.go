@@ -1,0 +1,56 @@
+// Communication: FedCA's overlap vs classical bit-reduction, through the
+// public API.
+//
+// Three federations train the same workload on a communication-heavy setup:
+// plain FedAvg, FedAvg with 4-bit QSGD quantization (the Sec. 2.2 family),
+// and FedCA (computation-communication overlap via eager transmission).
+// This example uses only the public fedca package — no internal imports.
+//
+//	go run ./examples/communication
+package main
+
+import (
+	"fmt"
+
+	fedca "fedca"
+)
+
+func main() {
+	base := fedca.DefaultOptions()
+	base.Clients = 8
+	base.LocalIters = 20
+	base.BatchSize = 16
+	base.TrainSamples = 1024
+	base.TestSamples = 512
+	base.Seed = 21
+	// Emulate a 20 MB model: ~12 s per full upload at 13.7 Mbps, so
+	// communication genuinely competes with computation.
+	base.ModelBytes = 20e6
+
+	const rounds = 10
+	variants := []struct {
+		name     string
+		scheme   string
+		compress string
+	}{
+		{"fedavg (full precision)", "fedavg", "none"},
+		{"fedavg + qsgd7 (4-bit)", "fedavg", "qsgd7"},
+		{"fedca (overlap)", "fedca", "none"},
+	}
+	fmt.Printf("%-26s %10s %10s %10s\n", "variant", "vtime(s)", "final acc", "last round")
+	for _, v := range variants {
+		o := base
+		o.Scheme = v.scheme
+		o.Compress = v.compress
+		f, err := fedca.New(o)
+		if err != nil {
+			panic(err)
+		}
+		rs := f.Run(rounds)
+		last := rs[len(rs)-1]
+		fmt.Printf("%-26s %10.1f %10.4f %9.1fs\n", v.name, f.Now(), f.Accuracy(), last.End-last.Start)
+	}
+	fmt.Println("\nQuantization shrinks every upload; FedCA instead hides upload time")
+	fmt.Println("behind computation (and also stops needless iterations). The two are")
+	fmt.Println("orthogonal — see `fedca-bench -exp ext-compress` for the combination.")
+}

@@ -1,0 +1,276 @@
+package fedca
+
+// This file is the public facade of the library: a downstream user assembles
+// a simulated federation, picks a scheme by name, runs rounds and reads
+// results without touching the internal packages.
+
+import (
+	"fmt"
+
+	"fedca/internal/baseline"
+	"fedca/internal/compress"
+	"fedca/internal/core"
+	"fedca/internal/expcfg"
+	"fedca/internal/fl"
+	"fedca/internal/metrics"
+	"fedca/internal/rng"
+	"fedca/internal/trace"
+)
+
+// Options configures a Federation. The zero value is not valid; start from
+// DefaultOptions.
+type Options struct {
+	// Model selects the workload: "cnn", "lstm" or "wrn".
+	Model string
+	// Clients is the number of simulated participants.
+	Clients int
+	// Scheme selects the federated optimization strategy: "fedavg",
+	// "fedprox", "fedada", "fedca", "fedca-v1", "fedca-v2", "oort", "safa".
+	Scheme string
+	// Seed drives all randomness; equal seeds reproduce runs bit-for-bit.
+	Seed uint64
+
+	// LocalIters is K, the default local iterations per round (paper: 125).
+	LocalIters int
+	// BatchSize is the local mini-batch size (paper: 50).
+	BatchSize int
+	// TrainSamples / TestSamples size the synthetic datasets.
+	TrainSamples, TestSamples int
+	// Alpha is the Dirichlet non-IID concentration (paper: 0.1).
+	Alpha float64
+
+	// Compress selects an upload compressor: "" or "none" (full precision),
+	// "qsgd<levels>" (e.g. "qsgd7"), or "topk<percent>" (e.g. "topk1").
+	Compress string
+	// ModelBytes overrides the serialized model size used for transfer
+	// times (0 = derive from the parameter count at 4 bytes each). Use it to
+	// emulate a communication-heavy deployment with a scaled-down model.
+	ModelBytes float64
+
+	// Heterogeneous enables FedScale-like static speed spread; Dynamic
+	// enables the paper's fast/slow mode toggling.
+	Heterogeneous, Dynamic bool
+	// DropoutProb injects per-round client dropout (0 = never).
+	DropoutProb float64
+
+	// FedCA carries the FedCA hyperparameters (ignored by other schemes).
+	FedCA core.Options
+}
+
+// DefaultOptions returns a small but representative configuration: the CNN
+// workload, 16 clients, FedCA with the paper's hyperparameters.
+func DefaultOptions() Options {
+	return Options{
+		Model:         "cnn",
+		Clients:       16,
+		Scheme:        "fedca",
+		Seed:          1,
+		LocalIters:    50,
+		BatchSize:     32,
+		TrainSamples:  4096,
+		TestSamples:   1024,
+		Alpha:         0.1,
+		Heterogeneous: true,
+		Dynamic:       true,
+		FedCA:         core.DefaultOptions(50),
+	}
+}
+
+// Round is one completed communication round, as reported to library users.
+type Round struct {
+	Index          int
+	Start, End     float64 // virtual seconds
+	Accuracy       float64
+	MeanIterations float64
+	EagerSent      float64 // mean eager transmissions per collected client
+	Retransmitted  float64
+	Collected      int
+	Dropped        int
+}
+
+// Federation is a ready-to-run simulated FL deployment.
+type Federation struct {
+	opts    Options
+	runner  *fl.Runner
+	fedca   *core.Scheme
+	results []fl.RoundResult
+}
+
+// New assembles a federation from options.
+func New(opts Options) (*Federation, error) {
+	w, err := expcfg.ByName(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Clients <= 0 {
+		return nil, fmt.Errorf("fedca: Clients must be positive")
+	}
+	if opts.LocalIters > 0 {
+		w.FL.LocalIters = opts.LocalIters
+	}
+	if opts.BatchSize > 0 {
+		w.FL.BatchSize = opts.BatchSize
+	}
+	if opts.TrainSamples > 0 {
+		w.TrainN = opts.TrainSamples
+	}
+	if opts.TestSamples > 0 {
+		w.TestN = opts.TestSamples
+	}
+	if opts.Alpha > 0 {
+		w.Alpha = opts.Alpha
+	}
+	w.FL.DropoutProb = opts.DropoutProb
+	if opts.ModelBytes > 0 {
+		w.FL.ModelBytes = opts.ModelBytes
+	}
+	comp, err := compress.ByName(opts.Compress)
+	if err != nil {
+		return nil, err
+	}
+	if _, isNone := comp.(compress.None); !isNone {
+		w.FL.Compressor = comp
+	}
+
+	tcfg := trace.Config{}
+	if opts.Dynamic || opts.Heterogeneous {
+		tcfg = trace.PaperConfig()
+		if !opts.Heterogeneous {
+			tcfg.HeterogeneitySigma = 0
+		}
+		tcfg.Dynamic = opts.Dynamic
+	}
+
+	var scheme fl.Scheme
+	var fedcaScheme *core.Scheme
+	switch opts.Scheme {
+	case "fedavg":
+		scheme = baseline.FedAvg{}
+	case "fedprox":
+		scheme = baseline.FedProx{Mu: 0.01}
+	case "fedada":
+		scheme = baseline.FedAda{K: w.FL.LocalIters, Tradeoff: 0.5}
+	case "oort":
+		scheme = baseline.NewOort(w.FL.LocalIters, 0.5, rng.New(opts.Seed).Fork("oort"))
+	case "safa":
+		scheme = baseline.NewSAFA(0.5)
+	case "fedca", "fedca-v1", "fedca-v2":
+		o := opts.FedCA
+		if o.K == 0 {
+			o = core.DefaultOptions(w.FL.LocalIters)
+		}
+		o.K = w.FL.LocalIters
+		switch opts.Scheme {
+		case "fedca-v1":
+			o.Eager, o.Retransmit = false, false
+		case "fedca-v2":
+			o.Eager, o.Retransmit = true, false
+		}
+		fedcaScheme = core.NewScheme(o, rng.New(opts.Seed).Fork("scheme"))
+		scheme = fedcaScheme
+	default:
+		return nil, fmt.Errorf("fedca: unknown scheme %q", opts.Scheme)
+	}
+
+	tb := expcfg.Build(w, opts.Clients, tcfg, opts.Seed)
+	runner, err := tb.NewRunner(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Federation{opts: opts, runner: runner, fedca: fedcaScheme}, nil
+}
+
+// RunRound executes one communication round.
+func (f *Federation) RunRound() Round {
+	res := f.runner.RunRound()
+	f.results = append(f.results, res)
+	return toRound(res)
+}
+
+// Run executes n rounds and returns them.
+func (f *Federation) Run(n int) []Round {
+	out := make([]Round, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, f.RunRound())
+	}
+	return out
+}
+
+// RunToAccuracy runs rounds until the global model reaches target accuracy
+// or maxRounds elapse, and reports the Table 1-style summary.
+func (f *Federation) RunToAccuracy(target float64, maxRounds int) Convergence {
+	for i := 0; i < maxRounds; i++ {
+		res := f.runner.RunRound()
+		f.results = append(f.results, res)
+		if res.Accuracy >= target {
+			break
+		}
+	}
+	c := metrics.ConvergenceOf(f.results, target)
+	return Convergence{
+		Reached:      c.Reached,
+		Rounds:       c.Rounds,
+		TotalSeconds: c.TotalTime,
+		PerRound:     c.PerRoundTime,
+		BestAccuracy: c.BestAcc,
+	}
+}
+
+// Convergence is the time-to-accuracy summary of a run.
+type Convergence struct {
+	Reached      bool
+	Rounds       int
+	TotalSeconds float64
+	PerRound     float64
+	BestAccuracy float64
+}
+
+// Accuracy returns the global model's current test accuracy (NaN-free; 0
+// before any round).
+func (f *Federation) Accuracy() float64 {
+	if len(f.results) == 0 {
+		return 0
+	}
+	return f.results[len(f.results)-1].Accuracy
+}
+
+// Now returns the current virtual time in seconds.
+func (f *Federation) Now() float64 { return f.runner.Now() }
+
+// Rounds returns every completed round.
+func (f *Federation) Rounds() []Round {
+	out := make([]Round, len(f.results))
+	for i, r := range f.results {
+		out[i] = toRound(r)
+	}
+	return out
+}
+
+// FedCAStats exposes FedCA's behavioural counters (early stops, eager
+// transmissions, retransmissions); ok is false for non-FedCA schemes.
+func (f *Federation) FedCAStats() (stats core.SchemeStats, ok bool) {
+	if f.fedca == nil {
+		return core.SchemeStats{}, false
+	}
+	return f.fedca.Stats(), true
+}
+
+func toRound(res fl.RoundResult) Round {
+	dropped := 0
+	for _, u := range res.Discarded {
+		if u.Dropped {
+			dropped++
+		}
+	}
+	return Round{
+		Index:          res.Round,
+		Start:          res.Start,
+		End:            res.End,
+		Accuracy:       res.Accuracy,
+		MeanIterations: res.MeanIterations,
+		EagerSent:      res.MeanEagerSent,
+		Retransmitted:  res.MeanRetrans,
+		Collected:      len(res.Collected),
+		Dropped:        dropped,
+	}
+}

@@ -1,0 +1,180 @@
+package fedca_test
+
+import (
+	"testing"
+
+	fedca "fedca"
+)
+
+func tinyOpts() fedca.Options {
+	o := fedca.DefaultOptions()
+	o.Clients = 4
+	o.LocalIters = 8
+	o.BatchSize = 8
+	o.TrainSamples = 256
+	o.TestSamples = 128
+	return o
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	o := fedca.DefaultOptions()
+	if o.Model != "cnn" || o.Scheme != "fedca" || o.Alpha != 0.1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestFacadeRunRound(t *testing.T) {
+	f, err := fedca.New(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.RunRound()
+	if r.Index != 0 || r.End <= r.Start || r.Collected == 0 {
+		t.Fatalf("round = %+v", r)
+	}
+	if f.Now() != r.End {
+		t.Fatalf("Now = %v, want %v", f.Now(), r.End)
+	}
+	if f.Accuracy() != r.Accuracy {
+		t.Fatal("Accuracy mismatch")
+	}
+	if got := f.Rounds(); len(got) != 1 || got[0] != r {
+		t.Fatalf("Rounds() = %+v", got)
+	}
+}
+
+func TestFacadeAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"fedavg", "fedprox", "fedada", "fedca", "fedca-v1", "fedca-v2", "oort", "safa"} {
+		o := tinyOpts()
+		o.Scheme = scheme
+		f, err := fedca.New(o)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		rs := f.Run(2)
+		if len(rs) != 2 {
+			t.Fatalf("%s: %d rounds", scheme, len(rs))
+		}
+		_, ok := f.FedCAStats()
+		wantStats := scheme == "fedca" || scheme == "fedca-v1" || scheme == "fedca-v2"
+		if ok != wantStats {
+			t.Fatalf("%s: FedCAStats ok = %v", scheme, ok)
+		}
+	}
+}
+
+func TestFacadeAllModels(t *testing.T) {
+	for _, model := range []string{"cnn", "lstm", "wrn"} {
+		o := tinyOpts()
+		o.Model = model
+		o.Scheme = "fedavg"
+		f, err := fedca.New(o)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if r := f.RunRound(); r.Collected == 0 {
+			t.Fatalf("%s: empty round", model)
+		}
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	o := tinyOpts()
+	o.Model = "transformer"
+	if _, err := fedca.New(o); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	o = tinyOpts()
+	o.Scheme = "magic"
+	if _, err := fedca.New(o); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	o = tinyOpts()
+	o.Clients = 0
+	if _, err := fedca.New(o); err == nil {
+		t.Fatal("zero clients must error")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() []fedca.Round {
+		f, err := fedca.New(tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Run(3)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFacadeRunToAccuracy(t *testing.T) {
+	o := tinyOpts()
+	o.Scheme = "fedavg"
+	o.LocalIters = 12
+	f, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.RunToAccuracy(0.5, 30)
+	if c.Rounds == 0 || c.TotalSeconds <= 0 {
+		t.Fatalf("convergence = %+v", c)
+	}
+	if c.Reached && c.BestAccuracy < 0.5 {
+		t.Fatalf("reached but best = %v", c.BestAccuracy)
+	}
+}
+
+func TestFacadeCompression(t *testing.T) {
+	o := tinyOpts()
+	o.Scheme = "fedavg"
+	o.Compress = "qsgd7"
+	f, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.RunRound()
+	o.Compress = "zip"
+	if _, err := fedca.New(o); err == nil {
+		t.Fatal("bad compressor spec must error")
+	}
+}
+
+func TestFacadeDropout(t *testing.T) {
+	o := tinyOpts()
+	o.DropoutProb = 0.5
+	o.Scheme = "fedavg"
+	f, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for i := 0; i < 4; i++ {
+		drops += f.RunRound().Dropped
+	}
+	if drops == 0 {
+		t.Fatal("no dropouts at p=0.5")
+	}
+}
+
+func TestFacadeFedCAActsAfterAnchor(t *testing.T) {
+	o := tinyOpts()
+	o.FedCA.K = o.LocalIters
+	o.FedCA.ProfilePeriod = 3
+	f, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(4)
+	st, ok := f.FedCAStats()
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if st.AnchorRounds == 0 {
+		t.Fatal("no anchor rounds recorded")
+	}
+}

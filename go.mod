@@ -1,0 +1,3 @@
+module fedca
+
+go 1.22

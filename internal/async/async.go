@@ -1,0 +1,222 @@
+// Package async implements a buffered asynchronous FL baseline in the spirit
+// of FedBuff/Papaya (the paper's Sec. 6 cites this family as an alternative
+// answer to stragglers: "each client can proceed independently without
+// waiting for others. Yet, asynchronous updating may incur stale parameters
+// and compromise the training accuracy").
+//
+// There are no rounds: every client loops pull → train K iterations → upload
+// continuously; the server folds each arriving update into the global model
+// with a polynomial staleness discount and commits a new model version every
+// BufferSize arrivals. The whole schedule runs on the discrete-event engine
+// (internal/sim) in virtual time, with deterministic tie-breaking by client
+// id, so runs reproduce exactly.
+package async
+
+import (
+	"fmt"
+	"math"
+
+	"fedca/internal/data"
+	"fedca/internal/fl"
+	"fedca/internal/nn"
+	"fedca/internal/sim"
+)
+
+// Config tunes the asynchronous server.
+type Config struct {
+	// BufferSize is the number of received updates per aggregation commit
+	// (FedBuff's M). 1 = fully asynchronous.
+	BufferSize int
+	// StalenessExp is γ in the staleness discount w(s) = 1/(1+s)^γ.
+	StalenessExp float64
+	// EvalEvery evaluates the global model every this many commits.
+	EvalEvery int
+}
+
+// Eval is one accuracy measurement of the global model.
+type Eval struct {
+	Time     float64 // virtual seconds
+	Version  int     // model version (number of commits)
+	Accuracy float64
+}
+
+// Stats aggregates a run's behaviour.
+type Stats struct {
+	UpdatesReceived int
+	Commits         int
+	MeanStaleness   float64
+	MaxStaleness    int
+}
+
+// Runner drives one asynchronous training run.
+type Runner struct {
+	cfg    Config
+	fl     fl.Config
+	engine *sim.Engine
+
+	clients []*fl.Client
+	net     *nn.Network // single worker: events are processed sequentially
+	global  []float64
+	version int
+	test    *data.Dataset
+
+	buffer   []pendingUpdate
+	evals    []Eval
+	stats    Stats
+	staleSum int
+}
+
+type pendingUpdate struct {
+	delta     []float64
+	weight    float64
+	staleness int
+}
+
+// NewRunner assembles an asynchronous runner. flCfg supplies the training
+// hyperparameters (LocalIters, LR, BaseIterTime, ModelBytes, …).
+func NewRunner(flCfg fl.Config, cfg Config, clients []*fl.Client, test *data.Dataset, factory func() *nn.Network) (*Runner, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("async: no clients")
+	}
+	if cfg.BufferSize < 1 {
+		cfg.BufferSize = 1
+	}
+	if cfg.StalenessExp < 0 {
+		return nil, fmt.Errorf("async: negative staleness exponent")
+	}
+	if cfg.EvalEvery < 1 {
+		cfg.EvalEvery = 1
+	}
+	net := factory()
+	if err := flCfg.Validate(net.NumParams()); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		cfg:     cfg,
+		fl:      flCfg,
+		engine:  sim.NewEngine(),
+		clients: clients,
+		net:     net,
+		global:  net.FlatParams(),
+		test:    test,
+	}, nil
+}
+
+// Run simulates until the virtual-time horizon and returns the accuracy
+// trajectory.
+func (r *Runner) Run(horizon float64) []Eval {
+	for _, c := range r.clients {
+		r.schedulePull(c, 0)
+	}
+	r.engine.RunUntil(horizon)
+	return r.evals
+}
+
+// Evals returns the accuracy measurements so far.
+func (r *Runner) Evals() []Eval { return r.evals }
+
+// Stats returns behavioural counters.
+func (r *Runner) Stats() Stats {
+	s := r.stats
+	if s.UpdatesReceived > 0 {
+		s.MeanStaleness = float64(r.staleSum) / float64(s.UpdatesReceived)
+	}
+	return s
+}
+
+// Version returns the number of committed aggregations.
+func (r *Runner) Version() int { return r.version }
+
+// schedulePull enqueues a client's next pull → train → upload cycle.
+func (r *Runner) schedulePull(c *fl.Client, at float64) {
+	r.engine.Schedule(at, c.ID, func(now float64) {
+		r.runClientCycle(c, now)
+	})
+}
+
+// runClientCycle executes one full client cycle. Training math runs
+// immediately (it depends only on the pulled parameters); the upload arrival
+// is scheduled at its simulated completion time.
+func (r *Runner) runClientCycle(c *fl.Client, now float64) {
+	c.Down.ResetAt(now)
+	c.Up.ResetAt(now)
+	_, tDown := c.Down.Transfer(now, r.fl.ModelBytes)
+
+	pulled := make([]float64, len(r.global))
+	copy(pulled, r.global)
+	pulledVersion := r.version
+
+	r.net.SetFlatParams(pulled)
+	r.net.ReseedNoise(uint64(c.ID)<<32 ^ uint64(int64(now*1e6)))
+	opt := nn.NewSGD(r.fl.LR, r.fl.Momentum, r.fl.WeightDecay)
+	t := tDown
+	for iter := 0; iter < r.fl.LocalIters; iter++ {
+		x, y := c.Loader.Next()
+		r.net.ZeroGrad()
+		logits := r.net.Forward(x, true)
+		_, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		r.net.Backward(dlogits)
+		opt.Step(r.net.Params())
+		t += c.Speed.IterDuration(r.fl.BaseIterTime, t)
+	}
+	final := r.net.FlatParams()
+	delta := make([]float64, len(final))
+	for j := range delta {
+		delta[j] = final[j] - pulled[j]
+	}
+	_, arrival := c.Up.Transfer(t, r.fl.ModelBytes)
+
+	r.engine.Schedule(arrival, c.ID, func(at float64) {
+		r.receive(c, delta, pulledVersion, at)
+		// The client immediately starts its next cycle: continuous
+		// participation, no synchronization barrier.
+		r.schedulePull(c, at)
+	})
+}
+
+// receive buffers an arriving update and commits when the buffer fills.
+func (r *Runner) receive(c *fl.Client, delta []float64, pulledVersion int, now float64) {
+	staleness := r.version - pulledVersion
+	r.stats.UpdatesReceived++
+	r.staleSum += staleness
+	if staleness > r.stats.MaxStaleness {
+		r.stats.MaxStaleness = staleness
+	}
+	r.buffer = append(r.buffer, pendingUpdate{delta: delta, weight: c.Weight, staleness: staleness})
+	if len(r.buffer) < r.cfg.BufferSize {
+		return
+	}
+	r.commit(now)
+}
+
+// commit folds the buffered updates into the global model with staleness
+// discounts and bumps the version.
+func (r *Runner) commit(now float64) {
+	var totalW float64
+	for _, u := range r.buffer {
+		totalW += r.discount(u.staleness) * u.weight
+	}
+	if totalW > 0 {
+		for _, u := range r.buffer {
+			w := r.discount(u.staleness) * u.weight / totalW
+			for j, v := range u.delta {
+				r.global[j] += w * v
+			}
+		}
+	}
+	r.buffer = r.buffer[:0]
+	r.version++
+	r.stats.Commits++
+	if r.test != nil && r.version%r.cfg.EvalEvery == 0 {
+		r.net.SetFlatParams(r.global)
+		acc := fl.Evaluate(r.net, r.test, r.fl.EvalBatch)
+		r.evals = append(r.evals, Eval{Time: now, Version: r.version, Accuracy: acc})
+	}
+}
+
+func (r *Runner) discount(staleness int) float64 {
+	if staleness <= 0 {
+		return 1
+	}
+	return 1 / math.Pow(1+float64(staleness), r.cfg.StalenessExp)
+}

@@ -1,0 +1,143 @@
+package async_test
+
+import (
+	"math"
+	"testing"
+
+	"fedca/internal/async"
+	"fedca/internal/expcfg"
+	"fedca/internal/trace"
+)
+
+func tinyWorkload() expcfg.Workload {
+	w := expcfg.CNN()
+	w.Img.Height, w.Img.Width = 8, 8
+	w.Img.Classes = 4
+	w.FL.BaseIterTime = 0.3
+	w.FL.ModelBytes = 0
+	return w.Shrink(8, 256, 128, 16)
+}
+
+func newRunner(t *testing.T, cfg async.Config, tcfg trace.Config, seed uint64) (*async.Runner, *expcfg.Testbed) {
+	t.Helper()
+	w := tinyWorkload()
+	tb := expcfg.Build(w, 4, tcfg, seed)
+	r, err := async.NewRunner(w.FL, cfg, tb.Clients, tb.Test, tb.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, tb
+}
+
+func TestAsyncRunsAndCommits(t *testing.T) {
+	r, _ := newRunner(t, async.Config{BufferSize: 2, StalenessExp: 0.5}, trace.Config{}, 1)
+	evals := r.Run(30)
+	if len(evals) == 0 {
+		t.Fatal("no evaluations")
+	}
+	if r.Version() == 0 {
+		t.Fatal("no commits")
+	}
+	st := r.Stats()
+	if st.UpdatesReceived < st.Commits*2 {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+	prev := 0.0
+	for _, e := range evals {
+		if e.Time < prev {
+			t.Fatal("evals must be time-ordered")
+		}
+		prev = e.Time
+		if e.Accuracy < 0 || e.Accuracy > 1 {
+			t.Fatalf("accuracy out of range: %v", e.Accuracy)
+		}
+	}
+}
+
+func TestAsyncNoBarrier(t *testing.T) {
+	// With strong heterogeneity, fast clients must deliver many more updates
+	// than slow ones within the horizon — the defining property of async.
+	r, _ := newRunner(t, async.Config{BufferSize: 1, StalenessExp: 0.5}, trace.Config{HeterogeneitySigma: 1.5}, 2)
+	r.Run(40)
+	st := r.Stats()
+	if st.UpdatesReceived <= 4 {
+		t.Fatalf("too few updates: %+v", st)
+	}
+	// BufferSize 1 commits on every arrival.
+	if st.Commits != st.UpdatesReceived {
+		t.Fatalf("M=1 must commit per update: %+v", st)
+	}
+}
+
+func TestAsyncStalenessObserved(t *testing.T) {
+	// With M=1 and heterogeneous speeds, slow clients' updates arrive stale.
+	r, _ := newRunner(t, async.Config{BufferSize: 1, StalenessExp: 0.5}, trace.Config{HeterogeneitySigma: 1.5}, 3)
+	r.Run(60)
+	st := r.Stats()
+	if st.MaxStaleness == 0 {
+		t.Fatal("no staleness observed despite heterogeneity")
+	}
+	if st.MeanStaleness <= 0 {
+		t.Fatalf("mean staleness = %v", st.MeanStaleness)
+	}
+}
+
+func TestAsyncImprovesAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	r, _ := newRunner(t, async.Config{BufferSize: 2, StalenessExp: 0.5}, trace.Config{}, 4)
+	evals := r.Run(150)
+	if len(evals) < 2 {
+		t.Fatal("too few evals")
+	}
+	first, last := evals[0].Accuracy, evals[len(evals)-1].Accuracy
+	if last < first {
+		t.Fatalf("accuracy regressed: %v -> %v", first, last)
+	}
+	if last < 0.5 {
+		t.Fatalf("async training too weak: %v", last)
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	run := func() []async.Eval {
+		r, _ := newRunner(t, async.Config{BufferSize: 2, StalenessExp: 0.5}, trace.PaperConfig(), 5)
+		return r.Run(30)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("eval counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("eval %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAsyncDiscountMath(t *testing.T) {
+	// γ=1: w(s) = 1/(1+s).
+	r, _ := newRunner(t, async.Config{BufferSize: 4, StalenessExp: 1}, trace.Config{}, 6)
+	_ = r
+	// discount is unexported; verify behaviourally: a run with huge γ should
+	// still be stable (weights shrink, not explode).
+	r2, _ := newRunner(t, async.Config{BufferSize: 2, StalenessExp: 5}, trace.Config{HeterogeneitySigma: 1.0}, 7)
+	evals := r2.Run(40)
+	for _, e := range evals {
+		if math.IsNaN(e.Accuracy) {
+			t.Fatal("NaN accuracy")
+		}
+	}
+}
+
+func TestAsyncConfigValidation(t *testing.T) {
+	w := tinyWorkload()
+	tb := expcfg.Build(w, 2, trace.Config{}, 8)
+	if _, err := async.NewRunner(w.FL, async.Config{StalenessExp: -1}, tb.Clients, tb.Test, tb.Factory); err == nil {
+		t.Fatal("negative γ must error")
+	}
+	if _, err := async.NewRunner(w.FL, async.Config{}, nil, tb.Test, tb.Factory); err == nil {
+		t.Fatal("no clients must error")
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"fedca/internal/fl"
+	"fedca/internal/rng"
+)
+
+// Options are FedCA's hyperparameters (paper Sec. 5.1 defaults via
+// DefaultOptions) and the ablation feature switches of Sec. 5.4:
+// v1 = early stop only; v2 = + eager transmission, no retransmission;
+// v3 = everything (the standard FedCA).
+type Options struct {
+	K int // default local iterations per round
+
+	Beta float64 // marginal-cost ratio β before the deadline (0.01)
+	Te   float64 // eager-transmission threshold T_e (0.95)
+	Tr   float64 // retransmission threshold T_r (0.6)
+
+	ProfilePeriod   int     // anchor round spacing (10)
+	SampleCap       int     // per-layer sample cap (100)
+	SampleFrac      float64 // per-layer sample fraction (0.5)
+	MinIterations   int     // never early-stop before this many iterations (1)
+	EarlyStop       bool
+	Eager           bool
+	Retransmit      bool
+	DisableBenFloor bool // ablation: drop Eq. 2's lower bound
+
+	// DeadlineQuantile switches the deadline rule (ablation): 0 uses the
+	// paper's FedBalancer-style argmax(#finished/T); a value q in (0, 1]
+	// instead sets T_R to the q-quantile of estimated client round times.
+	DeadlineQuantile float64
+
+	// AdaptiveLR enables the client-autonomous hyperparameter adjustment the
+	// paper's Sec. 6 proposes as future work: once the anchor curve says the
+	// client is deep in diminishing returns (P_{T,τ} ≥ LRDecayAt), the local
+	// learning rate is halved for the rest of the round, trading step size
+	// for noise reduction near the local optimum.
+	AdaptiveLR bool
+	// LRDecayAt is the progress level triggering the decay (default 0.9).
+	LRDecayAt float64
+}
+
+// DefaultOptions returns the paper's standard FedCA (v3) configuration for a
+// given K.
+func DefaultOptions(k int) Options {
+	return Options{
+		K:             k,
+		Beta:          0.01,
+		Te:            0.95,
+		Tr:            0.6,
+		ProfilePeriod: 10,
+		SampleCap:     DefaultSampleCap,
+		SampleFrac:    DefaultSampleFrac,
+		MinIterations: 1,
+		EarlyStop:     true,
+		Eager:         true,
+		Retransmit:    true,
+	}
+}
+
+// V1Options is the ablation variant with only early stopping.
+func V1Options(k int) Options {
+	o := DefaultOptions(k)
+	o.Eager, o.Retransmit = false, false
+	return o
+}
+
+// V2Options adds eager transmission but disables retransmission.
+func V2Options(k int) Options {
+	o := DefaultOptions(k)
+	o.Retransmit = false
+	return o
+}
+
+// Scheme is the FedCA strategy: it plugs the profiler, the utility-guided
+// early stop and eager transmission into the fl round loop. One Scheme value
+// drives one training run; it owns per-client profilers that persist across
+// rounds.
+type Scheme struct {
+	Opt Options
+
+	r         *rng.RNG
+	profilers map[int]*Profiler
+
+	// stats observed by controllers, for behavioural analyses (Fig. 8).
+	// Controllers run concurrently, hence the mutex.
+	statsMu sync.Mutex
+	stats   SchemeStats
+}
+
+// SchemeStats aggregates FedCA's runtime behaviour over a run.
+type SchemeStats struct {
+	EarlyStopIters   []int // iteration at which each early stop fired
+	FullRounds       int   // client-rounds that ran to the full budget
+	EagerIters       []int // iteration of each standing eager transmission
+	RetransmitIters  []int // effective iteration of each retransmitted layer
+	AnchorRounds     int   // client-rounds spent profiling
+	EagerSentTotal   int
+	RetransmitsTotal int
+}
+
+// NewScheme builds a FedCA scheme. r seeds the per-client sampling choices.
+func NewScheme(opt Options, r *rng.RNG) *Scheme {
+	if opt.K <= 0 {
+		panic("core: Options.K must be positive")
+	}
+	if opt.ProfilePeriod <= 0 {
+		opt.ProfilePeriod = 10
+	}
+	if opt.MinIterations < 1 {
+		opt.MinIterations = 1
+	}
+	return &Scheme{Opt: opt, r: r, profilers: make(map[int]*Profiler)}
+}
+
+// Name returns the scheme identifier, reflecting the ablation variant.
+func (s *Scheme) Name() string {
+	switch {
+	case s.Opt.EarlyStop && s.Opt.Eager && s.Opt.Retransmit:
+		return "fedca"
+	case s.Opt.EarlyStop && s.Opt.Eager:
+		return "fedca-v2"
+	case s.Opt.EarlyStop:
+		return "fedca-v1"
+	default:
+		return "fedca-custom"
+	}
+}
+
+// Stats returns a snapshot of the accumulated behavioural statistics.
+func (s *Scheme) Stats() SchemeStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	snap := s.stats
+	snap.EarlyStopIters = append([]int(nil), s.stats.EarlyStopIters...)
+	snap.EagerIters = append([]int(nil), s.stats.EagerIters...)
+	snap.RetransmitIters = append([]int(nil), s.stats.RetransmitIters...)
+	return snap
+}
+
+// Profiler returns (creating if needed) the persistent profiler of a client.
+func (s *Scheme) Profiler(clientID int) *Profiler {
+	p, ok := s.profilers[clientID]
+	if !ok {
+		p = NewProfiler(s.Opt.SampleCap, s.Opt.SampleFrac, s.r.Fork("profiler", clientID))
+		s.profilers[clientID] = p
+	}
+	return p
+}
+
+// IsAnchorRound reports whether the given round profiles curves. Round 0 is
+// always an anchor so curves exist from round 1 on.
+func (s *Scheme) IsAnchorRound(round int) bool {
+	return round%s.Opt.ProfilePeriod == 0
+}
+
+// PlanRound computes the round deadline T_R from server-side history
+// (clients receive it with the round's parameters, as in the paper's
+// implementation notes) — by default with the FedBalancer-style
+// argmax(#finished/T) rule, or with a fixed quantile when the ablation knob
+// DeadlineQuantile is set. FedCA sets no server-side iteration budgets: all
+// workload decisions are the clients' own.
+func (s *Scheme) PlanRound(round int, hist *fl.History) fl.RoundPlan {
+	est := hist.EstRoundTimes(s.Opt.K)
+	if q := s.Opt.DeadlineQuantile; q > 0 {
+		return fl.RoundPlan{Deadline: quantileDeadline(est, q)}
+	}
+	return fl.RoundPlan{Deadline: fl.FedBalancerDeadline(est)}
+}
+
+// quantileDeadline returns the q-quantile of the estimated round times
+// (+Inf with no estimates).
+func quantileDeadline(est map[int]float64, q float64) float64 {
+	if len(est) == 0 {
+		return inf()
+	}
+	times := make([]float64, 0, len(est))
+	for _, t := range est {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	i := int(q*float64(len(times))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(times) {
+		i = len(times) - 1
+	}
+	return times[i]
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// NewController builds the per-client round controller. Called serially by
+// the runner, so profiler map access needs no locking; the returned
+// controllers then run in parallel but each touches only its own profiler.
+func (s *Scheme) NewController(c *fl.Client, round int, plan fl.RoundPlan) fl.Controller {
+	p := s.Profiler(c.ID)
+	anchor := s.IsAnchorRound(round)
+	if anchor {
+		p.BeginAnchor(round)
+		s.stats.AnchorRounds++
+	}
+	return &controller{s: s, prof: p, anchor: anchor, deadline: plan.Deadline}
+}
+
+// controller is FedCA's per-client, per-round decision maker. It implements
+// TryEarlyStop and TryEagerTransmit (paper Sec. 5.1) inside AfterIteration,
+// and TryRetransmit inside Finalize.
+type controller struct {
+	fl.NopController
+	s        *Scheme
+	prof     *Profiler
+	anchor   bool
+	deadline float64
+
+	stopped   bool
+	stopIter  int
+	lrDecayed bool
+	eagerSent map[int]bool
+}
+
+// AfterIteration profiles (anchor rounds) or applies the utility-guided early
+// stop and threshold-triggered eager transmissions (regular rounds).
+func (c *controller) AfterIteration(st fl.IterState) fl.IterAction {
+	if c.anchor {
+		// Footnote 3 of the paper: anchor rounds run with no optimizations
+		// so the profiled curves are complete and valid.
+		c.prof.Record(st.Ranges, st.Delta)
+		return fl.IterAction{}
+	}
+	curves := c.prof.Curves()
+	if curves == nil {
+		return fl.IterAction{} // no profile yet: behave like FedAvg
+	}
+	opt := &c.s.Opt
+	var action fl.IterAction
+
+	if opt.Eager {
+		if c.eagerSent == nil {
+			c.eagerSent = make(map[int]bool)
+		}
+		for l := range curves.Layer {
+			if c.eagerSent[l] {
+				continue
+			}
+			// Eq. 5: transmit when the anchor curve crosses T_e at τ.
+			if curves.LayerAt(l, st.Iter) >= opt.Te && curves.LayerAt(l, st.Iter-1) < opt.Te {
+				action.EagerLayers = append(action.EagerLayers, l)
+				c.eagerSent[l] = true
+			}
+		}
+	}
+
+	if opt.AdaptiveLR && !c.lrDecayed {
+		at := opt.LRDecayAt
+		if at <= 0 {
+			at = 0.9
+		}
+		if curves.At(st.Iter) >= at {
+			action.LRScale = 0.5
+			c.lrDecayed = true
+		}
+	}
+
+	if opt.EarlyStop && st.Iter >= opt.MinIterations {
+		b := MarginalBenefit(curves, st.Iter, st.K, opt.DisableBenFloor)
+		cost := MarginalCost(st.Elapsed, c.deadline, opt.Beta)
+		if NetBenefit(b, cost) < 0 {
+			action.Stop = true
+			c.stopped = true
+			c.stopIter = st.Iter
+		}
+	}
+	return action
+}
+
+// Finalize turns anchor recordings into curves, or applies the Eq. 6
+// retransmission check to every eagerly transmitted layer.
+func (c *controller) Finalize(st fl.FinalState) fl.FinalAction {
+	if c.anchor {
+		c.prof.FinishAnchor()
+		return fl.FinalAction{}
+	}
+	c.s.statsMu.Lock()
+	defer c.s.statsMu.Unlock()
+	if c.stopped {
+		c.s.stats.EarlyStopIters = append(c.s.stats.EarlyStopIters, c.stopIter)
+	} else {
+		c.s.stats.FullRounds++
+	}
+	var action fl.FinalAction
+	for ei, rec := range st.Eager {
+		c.s.stats.EagerSentTotal++
+		rg := st.Ranges[rec.Layer]
+		final := st.Delta[rg.Start:rg.End]
+		if c.s.Opt.Retransmit && CosineSimilarity(final, rec.Snapshot) < c.s.Opt.Tr {
+			action.Retransmit = append(action.Retransmit, ei)
+			c.s.stats.RetransmitsTotal++
+			c.s.stats.RetransmitIters = append(c.s.stats.RetransmitIters, st.Iterations)
+		} else {
+			c.s.stats.EagerIters = append(c.s.stats.EagerIters, rec.Iter)
+		}
+	}
+	return action
+}

@@ -1,0 +1,46 @@
+package core
+
+import "math"
+
+// MarginalBenefit estimates b_{R,τ} (Eq. 2): the anchor curve's first
+// difference at τ, floored by the expected per-iteration improvement over the
+// remaining iterations — the guard against non-concave curve stretches:
+//
+//	b = max(P_{T,τ} − P_{T,τ−1}, (1 − P_{T,τ}) / (K − τ))
+//
+// For τ ≥ K the floor term is defined as 0 (no iterations remain).
+// disableFloor drops the guard (ablation knob).
+func MarginalBenefit(c *Curves, tau, k int, disableFloor bool) float64 {
+	diff := c.At(tau) - c.At(tau-1)
+	if disableFloor {
+		return diff
+	}
+	var floor float64
+	if tau < k {
+		floor = (1 - c.At(tau)) / float64(k-tau)
+	}
+	return math.Max(diff, floor)
+}
+
+// MarginalCost computes c_{R,τ} (Eq. 3) from the elapsed local-training time
+// t and the round deadline T:
+//
+//	c = f · t/T,  f = β while t ≤ T, else 1
+//
+// β ≪ 1 (paper default 0.01) keeps pre-deadline iterations nearly free; past
+// the deadline the full t/T penalizes straggling sharply. An infinite or
+// non-positive deadline yields zero cost (no deadline pressure).
+func MarginalCost(t, deadline, beta float64) float64 {
+	if deadline <= 0 || math.IsInf(deadline, 1) {
+		return 0
+	}
+	f := beta
+	if t > deadline {
+		f = 1
+	}
+	return f * t / deadline
+}
+
+// NetBenefit is n_{R,τ} = b − c (Eq. 4); the client stops its local round as
+// soon as this turns negative.
+func NetBenefit(b, c float64) float64 { return b - c }

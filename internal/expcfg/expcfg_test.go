@@ -1,0 +1,149 @@
+package expcfg
+
+import (
+	"testing"
+
+	"fedca/internal/rng"
+	"fedca/internal/trace"
+)
+
+func TestWorkloadDefaults(t *testing.T) {
+	for _, name := range []string{"cnn", "lstm", "wrn"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != name {
+			t.Fatalf("name = %q", w.Name)
+		}
+		// Paper Sec. 5.1: K=125, batch 50, 90% aggregation.
+		if w.FL.LocalIters != 125 || w.FL.BatchSize != 50 || w.FL.AggregateFraction != 0.9 {
+			t.Fatalf("%s: paper hyperparameters wrong: %+v", name, w.FL)
+		}
+		if w.Alpha != 0.1 {
+			t.Fatalf("%s: Dirichlet α = %v", name, w.Alpha)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPaperLearningRates(t *testing.T) {
+	// lr 0.01/0.05/0.1 and weight decay 0.01/0.01/0.0005.
+	cnn, lstm, wrn := CNN(), LSTM(), WRN()
+	if cnn.FL.LR != 0.01 || lstm.FL.LR != 0.05 || wrn.FL.LR != 0.1 {
+		t.Fatal("learning rates do not match paper Sec. 5.1")
+	}
+	if cnn.FL.WeightDecay != 0.01 || lstm.FL.WeightDecay != 0.01 || wrn.FL.WeightDecay != 0.0005 {
+		t.Fatal("weight decays do not match paper Sec. 5.1")
+	}
+}
+
+func TestWRNEmulatesPaperModelBytes(t *testing.T) {
+	if WRN().FL.ModelBytes != 139.4e6 {
+		t.Fatal("WRN must emulate the 139.4 MB WRN-28-10 transfer size")
+	}
+}
+
+func TestShrink(t *testing.T) {
+	w := CNN().Shrink(10, 100, 50, 5)
+	if w.FL.LocalIters != 10 || w.TrainN != 100 || w.TestN != 50 || w.FL.BatchSize != 5 {
+		t.Fatalf("shrink wrong: %+v", w)
+	}
+}
+
+func TestNewModelPerWorkload(t *testing.T) {
+	r := rng.New(1)
+	for _, name := range []string{"cnn", "lstm", "wrn"} {
+		w, _ := ByName(name)
+		m := w.NewModel(r.Fork(name))
+		if m.Name != name {
+			t.Fatalf("model name %q for workload %q", m.Name, name)
+		}
+		if m.NumParams() == 0 {
+			t.Fatal("empty model")
+		}
+	}
+}
+
+func buildTiny(t *testing.T, seed uint64) *Testbed {
+	t.Helper()
+	w := CNN()
+	w.Img.Height, w.Img.Width, w.Img.Classes = 8, 8, 4
+	w = w.Shrink(5, 256, 64, 8)
+	return Build(w, 4, trace.PaperConfig(), seed)
+}
+
+func TestBuildTestbed(t *testing.T) {
+	tb := buildTiny(t, 1)
+	if len(tb.Clients) != 4 {
+		t.Fatalf("clients = %d", len(tb.Clients))
+	}
+	total := 0
+	for i, c := range tb.Clients {
+		if c.ID != i {
+			t.Fatalf("client %d has ID %d", i, c.ID)
+		}
+		if c.Data.N() < tb.Workload.FL.BatchSize {
+			t.Fatalf("client %d has %d samples < batch", i, c.Data.N())
+		}
+		if c.Weight != float64(c.Data.N()) {
+			t.Fatal("weight must equal sample count")
+		}
+		if c.Speed == nil || c.Up == nil || c.Down == nil || c.Loader == nil {
+			t.Fatal("client missing equipment")
+		}
+		total += c.Data.N()
+	}
+	if total != tb.Workload.TrainN {
+		t.Fatalf("partition covers %d of %d samples", total, tb.Workload.TrainN)
+	}
+	if tb.Test.N() != tb.Workload.TestN {
+		t.Fatalf("test set = %d", tb.Test.N())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := buildTiny(t, 2), buildTiny(t, 2)
+	fa, fb := a.Factory(), b.Factory()
+	pa, pb := fa.FlatParams(), fb.FlatParams()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("factory models differ across identical builds")
+		}
+	}
+	for i := range a.Clients {
+		if a.Clients[i].Data.N() != b.Clients[i].Data.N() {
+			t.Fatal("partitions differ across identical builds")
+		}
+		if a.Clients[i].Speed.Static != b.Clients[i].Speed.Static {
+			t.Fatal("speeds differ across identical builds")
+		}
+	}
+}
+
+func TestFactoryModelsIdentical(t *testing.T) {
+	tb := buildTiny(t, 3)
+	a, b := tb.Factory(), tb.Factory()
+	pa, pb := a.FlatParams(), b.FlatParams()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("factory must return identically initialized models")
+		}
+	}
+}
+
+func TestLSTMTestbed(t *testing.T) {
+	w := LSTM()
+	w.Seq.SeqLen, w.Seq.Hidden, w.Seq.Classes = 6, 8, 4
+	w = w.Shrink(5, 256, 64, 8)
+	tb := Build(w, 4, trace.Config{}, 4)
+	if tb.Test.Dim() != w.Seq.SeqLen*w.Seq.FeatDim {
+		t.Fatalf("test dim = %d", tb.Test.Dim())
+	}
+	net := tb.Factory()
+	if net.NumParams() == 0 {
+		t.Fatal("no params")
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fedca/internal/core"
+	"fedca/internal/expcfg"
+	"fedca/internal/metrics"
+	"fedca/internal/report"
+	"fedca/internal/rng"
+)
+
+// The experiments in this file are not in the paper: they ablate the design
+// choices DESIGN.md §5 calls out, extending the paper's Secs. 4.1–4.2
+// discussion with measurements.
+
+// AblationFloor compares FedCA with and without the Eq. 2 benefit floor
+// (1 − P_τ)/(K − τ): the guard against non-concave curve stretches. Without
+// it, a locally flat anchor curve yields b ≤ 0 and triggers premature stops.
+func AblationFloor(s Scale, seed uint64) *Result {
+	res := newResult("abl-floor")
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — Eq. 2 benefit floor on/off (CNN)\n")
+	target := targetFor(s, "cnn", seed)
+	for _, off := range []bool{false, true} {
+		off := off
+		variant := "-floor-on"
+		if off {
+			variant = "-floor-off"
+		}
+		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.DisableBenFloor = off })
+		c := metrics.ConvergenceOf(run.Results, target)
+		stats := run.FedCA.Stats()
+		meanStop := meanInt(stats.EarlyStopIters)
+		label := "with floor"
+		if off {
+			label = "no floor"
+		}
+		res.Values["best/"+label] = c.BestAcc
+		res.Values["total/"+label] = c.TotalTime
+		res.Values["meanstop/"+label] = meanStop
+		fmt.Fprintf(&b, "%-10s best=%.3f time-to-target=%.0fs (reached=%v) mean early-stop iter=%.1f (n=%d)\n",
+			label, c.BestAcc, c.TotalTime, c.Reached, meanStop, len(stats.EarlyStopIters))
+	}
+	res.Text = b.String()
+	return res
+}
+
+func meanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// AblationSampling extends Fig. 5: profiling fidelity (max deviation of the
+// sampled curve from the full one) at per-layer sample caps 25, 100, 400.
+func AblationSampling(s Scale, seed uint64) *Result {
+	res := newResult("abl-sampling")
+	tbl := report.NewTable("Ablation — intra-layer sample cap vs profiling fidelity (CNN, largest layer)",
+		"Cap", "Samples total", "Max deviation", "Profiling mem (KB)")
+	w, err := s.Workload("cnn")
+	if err != nil {
+		panic(err)
+	}
+	cd := collectCurves(s, "cnn", seed)
+	l := largestLayer(cd)
+	full := cd.Probe(s.LateRound, 0).Layer[l]
+	// Recompute sampled curves at different caps from a fresh probe run is
+	// costly; instead sample the recorded full curve's layer directly via a
+	// dedicated probe at each cap using the profiler on synthetic replays.
+	for _, cap := range []int{25, 100, 400} {
+		cap := cap
+		key := fmt.Sprintf("ablsampling/%s/%d/%d", s.Name, cap, seed)
+		cdc := cached(key, func() *CurveData {
+			wc := w
+			return collectCurvesWithCap(wc, s, seed, cap)
+		})
+		sampled := cdc.Probe(s.LateRound, 0).Sampled[l]
+		dev := metrics.MaxAbsDiff(full, sampled)
+		prof := core.NewProfiler(cap, core.DefaultSampleFrac, rng.New(seed))
+		net := w.NewModel(rng.New(seed)).Network
+		prof.Prepare(net.ParamRanges())
+		res.Values[fmt.Sprintf("dev/%d", cap)] = dev
+		res.Values[fmt.Sprintf("mem/%d", cap)] = float64(prof.MemoryBytes(w.FL.LocalIters))
+		tbl.AddRow(cap, prof.TotalSamples(), dev, float64(prof.MemoryBytes(w.FL.LocalIters))/1024)
+	}
+	res.Text = tbl.String()
+	return res
+}
+
+// AblationPeriod extends Sec. 4.1: convergence under profiling periods
+// 1 (profile every round: maximal fidelity, zero optimized rounds at period 1
+// — every round is an un-optimized anchor!), 2, 5 and 10.
+func AblationPeriod(s Scale, seed uint64) *Result {
+	res := newResult("abl-period")
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — profiling period (CNN); period 1 never optimizes (every round is an anchor)\n")
+	target := targetFor(s, "cnn", seed)
+	for _, period := range []int{1, 2, 5, 10} {
+		period := period
+		variant := fmt.Sprintf("-period%d", period)
+		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.ProfilePeriod = period })
+		c := metrics.ConvergenceOf(run.Results, target)
+		res.Values[fmt.Sprintf("total/%d", period)] = c.TotalTime
+		res.Values[fmt.Sprintf("best/%d", period)] = c.BestAcc
+		fmt.Fprintf(&b, "period=%-3d best=%.3f time-to-target=%.0fs (reached=%v)\n", period, c.BestAcc, c.TotalTime, c.Reached)
+	}
+	res.Text = b.String()
+	return res
+}
+
+// AblationDeadline compares the FedBalancer-style argmax(#finished/T)
+// deadline with fixed-quantile deadlines (50th/90th percentile of estimated
+// round times).
+func AblationDeadline(s Scale, seed uint64) *Result {
+	res := newResult("abl-deadline")
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — deadline rule (CNN)\n")
+	target := targetFor(s, "cnn", seed)
+	for _, rule := range []struct {
+		label string
+		q     float64
+	}{{"fedbalancer", 0}, {"quantile-0.5", 0.5}, {"quantile-0.9", 0.9}} {
+		rule := rule
+		variant := "-dl-" + rule.label
+		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.DeadlineQuantile = rule.q })
+		c := metrics.ConvergenceOf(run.Results, target)
+		res.Values["total/"+rule.label] = c.TotalTime
+		res.Values["best/"+rule.label] = c.BestAcc
+		fmt.Fprintf(&b, "%-14s best=%.3f time-to-target=%.0fs (reached=%v) per-round=%.1fs\n",
+			rule.label, c.BestAcc, c.TotalTime, c.Reached, c.PerRoundTime)
+	}
+	res.Text = b.String()
+	return res
+}
+
+// collectCurvesWithCap is collectCurves with a custom per-layer sample cap.
+func collectCurvesWithCap(w expcfg.Workload, s Scale, seed uint64, cap int) *CurveData {
+	return collectCurvesCustom(w, s, seed, cap)
+}

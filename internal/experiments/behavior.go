@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fedca/internal/core"
+	"fedca/internal/metrics"
+	"fedca/internal/report"
+	"fedca/internal/rng"
+)
+
+// Fig8a regenerates the early-stop CDFs for CNN: the iteration at which FedCA
+// clients stop (client-side, intra-round) versus the iteration budget FedAda
+// truncates stragglers to (server-side, history-based).
+func Fig8a(s Scale, seed uint64) *Result {
+	res := newResult("fig8a")
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8a — CDF of the early-stop iteration (CNN, K=%d)\n", s.K)
+
+	fedca := convergenceRun(s, "cnn", "fedca", "", seed, nil)
+	caIters := append([]int(nil), fedca.FedCA.Stats().EarlyStopIters...)
+	// Clients that never stopped early count as acting at the full K, so the
+	// CDF ends at 1 over the same population.
+	caIters = append(caIters, fullStopPadding(fedca.FedCA.Stats(), s.K)...)
+
+	fedada := convergenceRun(s, "cnn", "fedada", "", seed, nil)
+	var adaIters []int
+	for _, r := range fedada.Results {
+		for _, u := range append(r.Collected, r.Discarded...) {
+			adaIters = append(adaIters, u.Iterations)
+		}
+	}
+
+	for name, iters := range map[string][]int{"fedca": caIters, "fedada": adaIters} {
+		cdf := metrics.CDF(iters)
+		xs := make([]float64, len(cdf))
+		ps := make([]float64, len(cdf))
+		for i, p := range cdf {
+			xs[i], ps[i] = p.X, p.P
+		}
+		res.Series[name+"-x"] = xs
+		res.Series[name+"-p"] = ps
+		res.Values["median/"+name] = metrics.Quantile(cdf, 0.5)
+		fmt.Fprintf(&b, "%-7s CDF %s  median=%.0f n=%d\n", name, report.Sparkline(ps), metrics.Quantile(cdf, 0.5), len(iters))
+	}
+	res.Text = b.String()
+	return res
+}
+
+// fullStopPadding returns one K entry per client-round that ran to its full
+// budget, so early-stop CDFs cover the whole population.
+func fullStopPadding(st core.SchemeStats, k int) []int {
+	pad := make([]int, st.FullRounds)
+	for i := range pad {
+		pad[i] = k
+	}
+	return pad
+}
+
+// Fig8b regenerates the eager-transmission CDFs for CNN, with and without the
+// retransmission mechanism: a retransmitted layer's effective action moment
+// is the round's last iteration.
+func Fig8b(s Scale, seed uint64) *Result {
+	res := newResult("fig8b")
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8b — CDF of the eager-transmission iteration (CNN, K=%d)\n", s.K)
+
+	with := convergenceRun(s, "cnn", "fedca", "", seed, nil).FedCA.Stats()
+	withIters := append(append([]int(nil), with.EagerIters...), with.RetransmitIters...)
+	without := convergenceRun(s, "cnn", "fedca-v2", "", seed, nil).FedCA.Stats()
+	withoutIters := append([]int(nil), without.EagerIters...)
+
+	for name, iters := range map[string][]int{"with-retrans": withIters, "without-retrans": withoutIters} {
+		cdf := metrics.CDF(iters)
+		xs := make([]float64, len(cdf))
+		ps := make([]float64, len(cdf))
+		for i, p := range cdf {
+			xs[i], ps[i] = p.X, p.P
+		}
+		res.Series[name+"-x"] = xs
+		res.Series[name+"-p"] = ps
+		res.Values["median/"+name] = metrics.Quantile(cdf, 0.5)
+		fmt.Fprintf(&b, "%-16s CDF %s  median=%.0f n=%d\n", name, report.Sparkline(ps), metrics.Quantile(cdf, 0.5), len(iters))
+	}
+	res.Values["retransmissions"] = float64(with.RetransmitsTotal)
+	res.Text = b.String()
+	return res
+}
+
+// Overhead regenerates the Sec. 5.5 profiling-overhead accounting: sampled
+// parameter counts and peak profiling memory per workload, versus model size.
+func Overhead(s Scale, seed uint64) *Result {
+	res := newResult("ovh")
+	tb := report.NewTable("Sec. 5.5 — periodical-sampling overhead",
+		"Model", "Params", "Layers", "Sampled", "Profiling mem (KB)", "Model size (KB)", "Ratio")
+	for _, m := range CurveModels {
+		w, err := s.Workload(m)
+		if err != nil {
+			panic(err)
+		}
+		net := w.NewModel(rng.New(seed)).Network
+		p := core.NewProfiler(core.DefaultSampleCap, core.DefaultSampleFrac, rng.New(seed).Fork("ovh", m))
+		p.Prepare(net.ParamRanges())
+		mem := p.MemoryBytes(w.FL.LocalIters)
+		modelBytes := w.FL.ModelBytes
+		if modelBytes == 0 {
+			modelBytes = float64(net.NumParams()) * 4
+		}
+		tb.AddRow(m, net.NumParams(), p.Layers(), p.TotalSamples(),
+			float64(mem)/1024, modelBytes/1024, float64(mem)/modelBytes)
+		res.Values["samples/"+m] = float64(p.TotalSamples())
+		res.Values["membytes/"+m] = float64(mem)
+		res.Values["params/"+m] = float64(net.NumParams())
+	}
+	res.Text = tb.String()
+	return res
+}

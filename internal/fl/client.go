@@ -1,0 +1,207 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"fedca/internal/nn"
+)
+
+// RunClientRound simulates one client's round: model download, local SGD with
+// scheme hooks, eager per-layer transmissions, and the end-of-round upload.
+// Training math runs for real; time is accounted in virtual seconds.
+//
+// net is a worker-local network (parameters are overwritten with globalFlat);
+// it must have the same architecture the globalFlat vector came from.
+func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, roundStart float64) Update {
+	ranges := net.ParamRanges()
+	if len(globalFlat) != net.NumParams() {
+		panic(fmt.Sprintf("fl: global vector size %d != model params %d", len(globalFlat), net.NumParams()))
+	}
+	// Fresh round: abandoned transfers from a previous round are cancelled.
+	c.Down.ResetAt(roundStart)
+	c.Up.ResetAt(roundStart)
+	upBytesBefore := c.Up.BytesSent()
+
+	_, tDown := c.Down.Transfer(roundStart, cfg.ModelBytes)
+	net.SetFlatParams(globalFlat)
+	// Stochastic layers (dropout) must not depend on which worker network
+	// this client landed on; reseed them from client identity and round time.
+	net.ReseedNoise(uint64(c.ID)<<32 ^ uint64(int64(roundStart*1e6)))
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+
+	budget := cfg.LocalIters
+	if plan.IterBudget != nil {
+		if b, ok := plan.IterBudget[c.ID]; ok && b > 0 {
+			budget = b
+		}
+	}
+	if budget > cfg.LocalIters {
+		budget = cfg.LocalIters
+	}
+
+	// Failure injection: the client may drop out partway through the round
+	// (Sec. 3.1 treats drop-out as the extreme of resource shrinkage). The
+	// dropped client still burns the compute up to the dropout iteration, but
+	// its update never reaches the server.
+	dropAt := 0 // 0 = no dropout
+	if cfg.DropoutProb > 0 && c.Chaos != nil {
+		r := c.Chaos.Fork("dropout", int(roundStart*1e6))
+		if r.Float64() < cfg.DropoutProb {
+			dropAt = 1 + r.Intn(budget)
+		}
+	}
+
+	bytesPerScalar := cfg.ModelBytes / float64(len(globalFlat))
+	// compressLayer yields what the server would decode for one layer's
+	// update and its wire size (compressors quote bytes against a 4-byte
+	// fp32 baseline; rescale to honour ModelBytes emulation).
+	compressLayer := func(vec []float64) ([]float64, float64) {
+		if cfg.Compressor == nil {
+			return vec, float64(len(vec)) * bytesPerScalar
+		}
+		approx, b4 := cfg.Compressor.Compress(vec)
+		return approx, b4 * bytesPerScalar / 4
+	}
+	delta := make([]float64, len(globalFlat))
+	var eager []EagerRecord
+	eagerSent := make(map[int]bool) // layer index → already transmitted
+
+	trainStart := tDown
+	now := tDown
+	iters := 0
+	lossSum := 0.0
+	params := net.Params()
+	for iter := 1; iter <= budget; iter++ {
+		x, y := c.Loader.Next()
+		net.ZeroGrad()
+		logits := net.Forward(x, true)
+		loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		lossSum += loss
+		net.Backward(dlogits)
+		ctrl.ModifyGrad(params, globalFlat)
+		opt.Step(params)
+
+		now += c.Speed.IterDuration(cfg.BaseIterTime, now)
+		iters = iter
+
+		if iter == dropAt {
+			// The device vanished: no further hooks, no upload.
+			return Update{
+				ClientID:       c.ID,
+				Weight:         c.Weight,
+				Iterations:     iters,
+				TrainTime:      now - trainStart,
+				CompletionTime: math.Inf(1),
+				Dropped:        true,
+			}
+		}
+
+		// Accumulated update so far.
+		off := 0
+		for _, p := range params {
+			d := p.Value.Data()
+			for j := range d {
+				delta[off+j] = d[j] - globalFlat[off+j]
+			}
+			off += len(d)
+		}
+
+		action := ctrl.AfterIteration(IterState{
+			Iter:    iter,
+			K:       cfg.LocalIters,
+			Budget:  budget,
+			Elapsed: now - trainStart,
+			Delta:   delta,
+			Ranges:  ranges,
+		})
+		if action.LRScale > 0 {
+			opt.LR *= action.LRScale
+		}
+		for _, li := range action.EagerLayers {
+			if li < 0 || li >= len(ranges) {
+				panic(fmt.Sprintf("fl: eager layer index %d out of range", li))
+			}
+			if eagerSent[li] {
+				continue // a layer is eagerly transmitted at most once
+			}
+			eagerSent[li] = true
+			rg := ranges[li]
+			approx, wireBytes := compressLayer(delta[rg.Start:rg.End])
+			snap := make([]float64, rg.Size())
+			copy(snap, approx)
+			sentAt, doneAt := c.Up.Transfer(now, wireBytes)
+			eager = append(eager, EagerRecord{Layer: li, Iter: iter, Snapshot: snap, SentAt: sentAt, DoneAt: doneAt})
+		}
+		if action.Stop {
+			break
+		}
+	}
+
+	final := ctrl.Finalize(FinalState{
+		Iterations: iters,
+		Delta:      delta,
+		Ranges:     ranges,
+		Eager:      eager,
+	})
+	retrans := make(map[int]bool) // eager-record index → retransmit
+	for _, ei := range final.Retransmit {
+		if ei < 0 || ei >= len(eager) {
+			panic(fmt.Sprintf("fl: retransmit index %d out of range", ei))
+		}
+		retrans[ei] = true
+	}
+
+	// The update the server will see: final values everywhere (compressed if
+	// a compressor is configured), except layers whose eager snapshot stands
+	// (sent eagerly and not retransmitted).
+	serverDelta := make([]float64, len(delta))
+	copy(serverDelta, delta)
+	stale := make(map[int]bool) // layer index → eager snapshot stands
+	for ei, rec := range eager {
+		if !retrans[ei] {
+			stale[rec.Layer] = true
+			rg := ranges[rec.Layer]
+			copy(serverDelta[rg.Start:rg.End], rec.Snapshot)
+		}
+	}
+
+	// Final payload: every layer except those whose eager snapshot stands.
+	var finalBytes float64
+	for li, rg := range ranges {
+		if !stale[li] {
+			approx, wireBytes := compressLayer(delta[rg.Start:rg.End])
+			if cfg.Compressor != nil {
+				copy(serverDelta[rg.Start:rg.End], approx)
+			}
+			finalBytes += wireBytes
+		}
+	}
+	if finalBytes < 64 {
+		finalBytes = 64 // control message floor
+	}
+	_, completion := c.Up.Transfer(now, finalBytes)
+
+	var eagerIters, retransIters []int
+	for ei, rec := range eager {
+		if retrans[ei] {
+			retransIters = append(retransIters, iters)
+		} else {
+			eagerIters = append(eagerIters, rec.Iter)
+		}
+	}
+	return Update{
+		ClientID:       c.ID,
+		Delta:          serverDelta,
+		Weight:         c.Weight,
+		Iterations:     iters,
+		TrainTime:      now - trainStart,
+		TrainLoss:      lossSum / float64(iters),
+		CompletionTime: completion,
+		UploadBytes:    c.Up.BytesSent() - upBytesBefore,
+		EagerSent:      len(eager),
+		Retransmitted:  len(retrans),
+		EagerIters:     eagerIters,
+		RetransIters:   retransIters,
+	}
+}

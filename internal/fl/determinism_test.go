@@ -1,0 +1,39 @@
+package fl_test
+
+import (
+	"runtime"
+	"testing"
+
+	"fedca/internal/baseline"
+	"fedca/internal/expcfg"
+	"fedca/internal/trace"
+)
+
+// TestWorkerCountInvariance is the strongest determinism guarantee: the same
+// run at GOMAXPROCS=1 and at full parallelism must produce bit-identical
+// global parameters and timings (deterministic per-sample reductions in conv
+// backward, per-client noise reseeding, ordered aggregation).
+func TestWorkerCountInvariance(t *testing.T) {
+	run := func(procs int) ([]float64, float64) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		tb := expcfg.Build(tinyWorkload(), 6, trace.PaperConfig(), 50)
+		r, err := tb.NewRunner(baseline.FedAvg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.RunRound()
+		res := r.RunRound()
+		return r.GlobalFlat(), res.End
+	}
+	serialParams, serialEnd := run(1)
+	parallelParams, parallelEnd := run(runtime.NumCPU())
+	if serialEnd != parallelEnd {
+		t.Fatalf("round end differs: %v vs %v", serialEnd, parallelEnd)
+	}
+	for i := range serialParams {
+		if serialParams[i] != parallelParams[i] {
+			t.Fatalf("param %d differs between worker counts", i)
+		}
+	}
+}

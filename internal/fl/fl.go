@@ -1,0 +1,238 @@
+// Package fl orchestrates federated-learning rounds over the virtual-time
+// simulator: model broadcast, parallel local training on every client with
+// per-iteration scheme hooks, shaped uplink/downlink transfers, partial
+// aggregation (the earliest 90% of updates, as in the paper's setup), and
+// weighted FedAvg aggregation.
+//
+// Schemes (FedAvg, FedProx, FedAda, FedCA) plug in through the Scheme
+// interface: they may plan per-client iteration budgets and a round deadline
+// on the server, modify gradients locally, stop local training early, and
+// transmit per-layer updates eagerly before round completion.
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"fedca/internal/compress"
+	"fedca/internal/data"
+	"fedca/internal/nn"
+	"fedca/internal/rng"
+	"fedca/internal/simnet"
+	"fedca/internal/trace"
+)
+
+// Config holds the round-level hyperparameters shared by all schemes
+// (paper Sec. 5.1).
+type Config struct {
+	LocalIters  int     // K, default local iterations per round (paper: 125)
+	BatchSize   int     // paper: 50
+	LR          float64 // per-workload (0.01 / 0.05 / 0.1)
+	Momentum    float64
+	WeightDecay float64 // per-workload (0.01 / 0.01 / 0.0005)
+
+	// AggregateFraction of the earliest-returning updates the server waits
+	// for before closing the round (paper: 0.9).
+	AggregateFraction float64
+
+	// BaseIterTime is the nominal compute seconds of one local iteration on
+	// ideal hardware; per-client factors multiply it.
+	BaseIterTime float64
+
+	// ModelBytes is the serialized model size used for transfer times. Zero
+	// means NumParams·4 bytes (fp32). Setting it explicitly lets a scaled-
+	// down model emulate the communication volume of the paper's full-size
+	// one (e.g. 139.4 MB for WRN-28-10).
+	ModelBytes float64
+
+	// EvalBatch bounds the number of test samples used per accuracy
+	// evaluation (0 = whole test set).
+	EvalBatch int
+
+	// RetainUpdateDeltas keeps each Update's full Delta vector in the round
+	// results. Off by default: long runs over many clients would otherwise
+	// hold rounds × clients × params floats alive.
+	RetainUpdateDeltas bool
+
+	// Compressor lossily compresses every uploaded layer (eager and final),
+	// emulating the quantization/sparsification family of Sec. 2.2. Nil means
+	// full-precision uploads. The wire size scales with ModelBytes so a
+	// scaled-down model still emulates its full-size counterpart's traffic.
+	Compressor compress.Compressor
+
+	// DropoutProb is the per-round probability that a client drops out
+	// mid-round (battery, network loss, user action — Sec. 3.1 treats
+	// drop-out as the extreme of resource shrinkage). A dropped client's
+	// update never reaches the server. Requires clients to carry a Chaos RNG.
+	DropoutProb float64
+}
+
+// Validate applies defaults and rejects nonsense.
+func (c *Config) Validate(numParams int) error {
+	if c.LocalIters <= 0 {
+		return fmt.Errorf("fl: LocalIters must be positive, got %d", c.LocalIters)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("fl: BatchSize must be positive, got %d", c.BatchSize)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("fl: LR must be positive, got %v", c.LR)
+	}
+	if c.AggregateFraction <= 0 || c.AggregateFraction > 1 {
+		return fmt.Errorf("fl: AggregateFraction must be in (0,1], got %v", c.AggregateFraction)
+	}
+	if c.BaseIterTime <= 0 {
+		return fmt.Errorf("fl: BaseIterTime must be positive, got %v", c.BaseIterTime)
+	}
+	if c.ModelBytes == 0 {
+		c.ModelBytes = float64(numParams) * 4
+	}
+	if c.ModelBytes < 0 {
+		return fmt.Errorf("fl: ModelBytes must be non-negative")
+	}
+	return nil
+}
+
+// Client is one simulated FL participant: its shard of data, its compute
+// speed trace and its shaped links. Model state is NOT stored here — clients
+// adopt the global parameters at every round start.
+type Client struct {
+	ID     int
+	Data   *data.Dataset
+	Loader *data.Loader
+	Speed  *trace.SpeedModel
+	Up     *simnet.Link
+	Down   *simnet.Link
+	Weight float64 // aggregation weight (its sample count)
+	// Chaos drives failure injection (dropout). Optional; required only when
+	// Config.DropoutProb > 0.
+	Chaos *rng.RNG
+}
+
+// RoundPlan is the server's per-round instruction set.
+type RoundPlan struct {
+	// Deadline is T_R: the desired local-training deadline in seconds
+	// relative to each client's training start. +Inf disables it.
+	Deadline float64
+	// IterBudget[i] caps client i's local iterations; nil or 0 entries mean
+	// the default K.
+	IterBudget map[int]int
+}
+
+// IterState is what a controller observes after each completed iteration.
+type IterState struct {
+	Iter    int     // 1-based index of the just-completed iteration
+	K       int     // default full-round iteration count
+	Budget  int     // iteration cap for this client this round
+	Elapsed float64 // local-training wall time so far (virtual seconds)
+	// Delta is the accumulated update so far (w_now − w_global), flat.
+	// Read-only; valid only during the call.
+	Delta  []float64
+	Ranges []nn.ParamRange
+}
+
+// IterAction is a controller's decision after an iteration.
+type IterAction struct {
+	Stop bool
+	// EagerLayers lists indices into Ranges whose current update should be
+	// transmitted to the server immediately.
+	EagerLayers []int
+	// LRScale, when positive, multiplies the local learning rate for the
+	// remaining iterations of this round — the client-autonomous
+	// hyperparameter adjustment the paper's Sec. 6 sketches as future work.
+	LRScale float64
+}
+
+// EagerRecord documents one eager transmission.
+type EagerRecord struct {
+	Layer    int // index into ParamRanges
+	Iter     int // iteration after which it was sent
+	Snapshot []float64
+	SentAt   float64 // virtual enqueue time
+	DoneAt   float64 // virtual completion time
+}
+
+// FinalState is what a controller observes when local training has ended.
+type FinalState struct {
+	Iterations int
+	Delta      []float64 // final accumulated update
+	Ranges     []nn.ParamRange
+	Eager      []EagerRecord
+}
+
+// FinalAction selects which eagerly-sent layers must be retransmitted with
+// the regular end-of-round payload.
+type FinalAction struct {
+	Retransmit []int // indices into FinalState.Eager
+}
+
+// Controller is the per-client, per-round decision maker of a scheme.
+type Controller interface {
+	// ModifyGrad may adjust parameter gradients before the optimizer step
+	// (e.g. FedProx's proximal term). globalFlat is the round's starting
+	// parameter vector.
+	ModifyGrad(params []*nn.Param, globalFlat []float64)
+	// AfterIteration observes intra-round state and may stop training or
+	// request eager layer transmissions.
+	AfterIteration(st IterState) IterAction
+	// Finalize decides retransmissions once local training has ended.
+	Finalize(st FinalState) FinalAction
+}
+
+// Scheme plugs a federated optimization strategy into the runner.
+type Scheme interface {
+	Name() string
+	// PlanRound runs on the server before dispatch.
+	PlanRound(round int, hist *History) RoundPlan
+	// NewController builds client c's controller for this round.
+	NewController(c *Client, round int, plan RoundPlan) Controller
+}
+
+// Update is one client's round result as the server receives it.
+type Update struct {
+	ClientID   int
+	Delta      []float64 // the update the server will aggregate
+	Weight     float64
+	Iterations int
+
+	TrainTime      float64 // local compute seconds
+	TrainLoss      float64 // mean per-iteration training loss (client-reported)
+	CompletionTime float64 // virtual time the full update reached the server
+	Dropped        bool    // the client dropped out; the update never arrived
+	UploadBytes    float64
+	EagerSent      int
+	Retransmitted  int
+	EagerIters     []int // iteration at which each eager transmission fired
+	RetransIters   []int // effective iterations of retransmitted layers (= Iterations)
+}
+
+// Selector is an optional Scheme extension: schemes implementing it choose
+// which clients participate each round (the client-selection family of
+// Sec. 2.2 — Oort, REFL). Returned ids must be valid client ids; duplicates
+// are ignored. An empty slice falls back to full participation.
+type Selector interface {
+	SelectClients(round int, hist *History, total int) []int
+}
+
+// Aggregator is an optional Scheme extension replacing the default weighted
+// FedAvg mean — e.g. SAFA-style reuse of stale straggler updates. It returns
+// the new global parameter vector. collected updates carry their Delta;
+// discarded updates carry Delta only when not dropped.
+type Aggregator interface {
+	Aggregate(round int, flat []float64, collected, discarded []Update) []float64
+}
+
+// NopController implements Controller with no behaviour — plain FedAvg.
+type NopController struct{}
+
+// ModifyGrad does nothing.
+func (NopController) ModifyGrad([]*nn.Param, []float64) {}
+
+// AfterIteration never stops and never transmits eagerly.
+func (NopController) AfterIteration(IterState) IterAction { return IterAction{} }
+
+// Finalize retransmits nothing.
+func (NopController) Finalize(FinalState) FinalAction { return FinalAction{} }
+
+// NoDeadline is the RoundPlan deadline value meaning "none".
+func NoDeadline() float64 { return math.Inf(1) }

@@ -1,0 +1,86 @@
+package fl
+
+import (
+	"math"
+	"sort"
+)
+
+// History is the server's knowledge about client behaviour, learned from the
+// updates it actually received (the server never sees intra-round state —
+// that is the whole point of the paper). Per-iteration wall times feed the
+// FedBalancer-style deadline and FedAda's workload planning.
+type History struct {
+	// ewma of per-iteration local compute seconds, keyed by client id.
+	iterTime map[int]float64
+	// alpha is the EWMA smoothing weight of the newest observation.
+	alpha float64
+}
+
+// NewHistory creates an empty history with EWMA weight 0.5.
+func NewHistory() *History {
+	return &History{iterTime: make(map[int]float64), alpha: 0.5}
+}
+
+// Observe folds a received update into the history.
+func (h *History) Observe(u Update) {
+	if u.Iterations <= 0 || u.TrainTime <= 0 {
+		return
+	}
+	t := u.TrainTime / float64(u.Iterations)
+	if old, ok := h.iterTime[u.ClientID]; ok {
+		h.iterTime[u.ClientID] = h.alpha*t + (1-h.alpha)*old
+	} else {
+		h.iterTime[u.ClientID] = t
+	}
+}
+
+// EstIterTime returns the estimated per-iteration time of a client and
+// whether any estimate exists.
+func (h *History) EstIterTime(clientID int) (float64, bool) {
+	t, ok := h.iterTime[clientID]
+	return t, ok
+}
+
+// Known returns how many clients have estimates.
+func (h *History) Known() int { return len(h.iterTime) }
+
+// EstRoundTimes returns the estimated K-iteration local training time for
+// each client with history (unordered map copy).
+func (h *History) EstRoundTimes(k int) map[int]float64 {
+	out := make(map[int]float64, len(h.iterTime))
+	for id, t := range h.iterTime {
+		out[id] = t * float64(k)
+	}
+	return out
+}
+
+// FedBalancerDeadline selects the round deadline T maximizing the ratio of
+// clients expected to finish within T to T itself (the deadline-setup
+// strategy of FedBalancer that both FedAda and FedCA reuse, paper Eq. 3
+// discussion). est holds each client's estimated full-round training time.
+// With no estimates it returns +Inf (no deadline).
+func FedBalancerDeadline(est map[int]float64) float64 {
+	if len(est) == 0 {
+		return math.Inf(1)
+	}
+	times := make([]float64, 0, len(est))
+	for _, t := range est {
+		if t > 0 {
+			times = append(times, t)
+		}
+	}
+	if len(times) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(times)
+	best, bestScore := times[len(times)-1], -1.0
+	for i, t := range times {
+		score := float64(i+1) / t
+		// Strictly-greater keeps the earliest deadline among ties, which is
+		// the more aggressive (and deterministic) choice.
+		if score > bestScore {
+			best, bestScore = t, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,120 @@
+package fl_test
+
+import (
+	"testing"
+
+	"fedca/internal/baseline"
+	"fedca/internal/expcfg"
+	"fedca/internal/fl"
+	"fedca/internal/trace"
+)
+
+// badEagerCtrl asks for a layer index outside the model.
+type badEagerCtrl struct{ fl.NopController }
+
+func (badEagerCtrl) AfterIteration(fl.IterState) fl.IterAction {
+	return fl.IterAction{EagerLayers: []int{9999}}
+}
+
+// badRetransCtrl asks to retransmit a nonexistent eager record.
+type badRetransCtrl struct{ fl.NopController }
+
+func (badRetransCtrl) Finalize(fl.FinalState) fl.FinalAction {
+	return fl.FinalAction{Retransmit: []int{0}}
+}
+
+func expectPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	f()
+}
+
+func TestClientRoundPanicsOnBadControllerOutput(t *testing.T) {
+	tb := tinyTestbed(t, 1, trace.Config{}, 80)
+	c := tb.Clients[0]
+	net := tb.Factory()
+	cfg := tb.Workload.FL
+	if err := cfg.Validate(net.NumParams()); err != nil {
+		t.Fatal(err)
+	}
+	plan := fl.RoundPlan{Deadline: fl.NoDeadline()}
+	expectPanic(t, "eager layer out of range", func() {
+		fl.RunClientRound(c, net, net.FlatParams(), &cfg, plan, badEagerCtrl{}, 0)
+	})
+	c2 := expcfg.Build(tinyWorkload(), 1, trace.Config{}, 81).Clients[0]
+	expectPanic(t, "retransmit index out of range", func() {
+		fl.RunClientRound(c2, net, net.FlatParams(), &cfg, plan, badRetransCtrl{}, 0)
+	})
+}
+
+func TestClientRoundPanicsOnSizeMismatch(t *testing.T) {
+	tb := tinyTestbed(t, 1, trace.Config{}, 82)
+	net := tb.Factory()
+	cfg := tb.Workload.FL
+	_ = cfg.Validate(net.NumParams())
+	expectPanic(t, "global vector size mismatch", func() {
+		fl.RunClientRound(tb.Clients[0], net, make([]float64, 3), &cfg, fl.RoundPlan{Deadline: fl.NoDeadline()}, fl.NopController{}, 0)
+	})
+}
+
+// badSelector returns an unknown client id.
+type badSelector struct{ baseline.FedAvg }
+
+func (badSelector) SelectClients(int, *fl.History, int) []int { return []int{12345} }
+
+func TestRunnerPanicsOnUnknownSelection(t *testing.T) {
+	tb := tinyTestbed(t, 2, trace.Config{}, 83)
+	r, err := tb.NewRunner(badSelector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic(t, "selector chose unknown client", func() { r.RunRound() })
+}
+
+// badAggregator returns a wrong-size vector.
+type badAggregator struct{ baseline.FedAvg }
+
+func (badAggregator) Aggregate(int, []float64, []fl.Update, []fl.Update) []float64 {
+	return make([]float64, 1)
+}
+
+func TestRunnerPanicsOnBadAggregator(t *testing.T) {
+	tb := tinyTestbed(t, 2, trace.Config{}, 84)
+	r, err := tb.NewRunner(badAggregator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic(t, "aggregator wrong size", func() { r.RunRound() })
+}
+
+func TestRunnerPanicsWhenAllDrop(t *testing.T) {
+	w := tinyWorkload()
+	w.FL.DropoutProb = 1.0
+	tb := expcfg.Build(w, 2, trace.Config{}, 85)
+	r, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic(t, "every client dropped", func() { r.RunRound() })
+}
+
+// selectorSubset exercises the dedup path: duplicate ids collapse.
+type selectorSubset struct{ baseline.FedAvg }
+
+func (selectorSubset) SelectClients(int, *fl.History, int) []int { return []int{1, 1, 0} }
+
+func TestSelectorDedup(t *testing.T) {
+	tb := tinyTestbed(t, 3, trace.Config{}, 86)
+	r, err := tb.NewRunner(selectorSubset{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.RunRound()
+	if got := len(res.Collected) + len(res.Discarded); got != 2 {
+		t.Fatalf("participants = %d, want 2 (dedup)", got)
+	}
+}

@@ -1,0 +1,299 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fedca/internal/data"
+	"fedca/internal/nn"
+	"fedca/internal/tensor"
+)
+
+// RoundResult summarizes one completed round.
+type RoundResult struct {
+	Round      int
+	Start, End float64 // virtual time
+	Collected  []Update
+	Discarded  []Update
+	Accuracy   float64 // global model accuracy after aggregation
+	Plan       RoundPlan
+
+	MeanIterations float64
+	MeanEagerSent  float64
+	MeanRetrans    float64
+}
+
+// Duration returns the round's virtual wall time.
+func (r RoundResult) Duration() float64 { return r.End - r.Start }
+
+// Runner drives a full FL training run for one scheme.
+type Runner struct {
+	Cfg     Config
+	Clients []*Client
+	Scheme  Scheme
+	Test    *data.Dataset
+	Hist    *History
+
+	global  *nn.Network
+	flat    []float64
+	workers []*nn.Network
+	round   int
+	now     float64
+}
+
+// NewRunner wires a runner. factory must build fresh identically-shaped
+// networks; the first one becomes the global model (its initialization is the
+// run's starting point) and one extra per worker executes client training.
+func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset, factory func() *nn.Network) (*Runner, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	global := factory()
+	if err := cfg.Validate(global.NumParams()); err != nil {
+		return nil, err
+	}
+	nWorkers := runtime.GOMAXPROCS(0)
+	if nWorkers > len(clients) {
+		nWorkers = len(clients)
+	}
+	workers := make([]*nn.Network, nWorkers)
+	for i := range workers {
+		workers[i] = factory()
+	}
+	return &Runner{
+		Cfg:     cfg,
+		Clients: clients,
+		Scheme:  scheme,
+		Test:    test,
+		Hist:    NewHistory(),
+		global:  global,
+		flat:    global.FlatParams(),
+		workers: workers,
+	}, nil
+}
+
+// Global returns the server's model (parameters current as of the last
+// aggregation).
+func (r *Runner) Global() *nn.Network { return r.global }
+
+// GlobalFlat returns a copy of the current global parameter vector.
+func (r *Runner) GlobalFlat() []float64 {
+	out := make([]float64, len(r.flat))
+	copy(out, r.flat)
+	return out
+}
+
+// Now returns the current virtual time.
+func (r *Runner) Now() float64 { return r.now }
+
+// Round returns the number of completed rounds.
+func (r *Runner) Round() int { return r.round }
+
+// RunRound executes one full round and returns its result.
+func (r *Runner) RunRound() RoundResult {
+	plan := r.Scheme.PlanRound(r.round, r.Hist)
+	start := r.now
+
+	// Participation: full by default; schemes implementing Selector narrow it.
+	participants := r.Clients
+	if sel, ok := r.Scheme.(Selector); ok {
+		if ids := sel.SelectClients(r.round, r.Hist, len(r.Clients)); len(ids) > 0 {
+			byID := make(map[int]*Client, len(r.Clients))
+			for _, c := range r.Clients {
+				byID[c.ID] = c
+			}
+			seen := make(map[int]bool, len(ids))
+			chosen := make([]*Client, 0, len(ids))
+			for _, id := range ids {
+				c, ok := byID[id]
+				if !ok {
+					panic(fmt.Sprintf("fl: selector chose unknown client %d", id))
+				}
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				chosen = append(chosen, c)
+			}
+			participants = chosen
+		}
+	}
+
+	// Controllers are created serially: schemes may mutate shared state
+	// (e.g. FedCA's per-client profiles) during construction.
+	ctrls := make([]Controller, len(participants))
+	for i, c := range participants {
+		ctrls[i] = r.Scheme.NewController(c, r.round, plan)
+	}
+
+	// Clients run in parallel; each worker owns one network. Results land in
+	// a slice indexed by participant, so the outcome is order-independent.
+	updates := make([]Update, len(participants))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(r.workers))
+	for w := 0; w < len(r.workers); w++ {
+		go func(net *nn.Network) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(participants) {
+					return
+				}
+				updates[i] = RunClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], start)
+			}
+		}(r.workers[w])
+	}
+	wg.Wait()
+
+	// Partial aggregation: earliest AggregateFraction of updates.
+	order := make([]int, len(updates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua, ub := updates[order[a]], updates[order[b]]
+		if ua.CompletionTime != ub.CompletionTime {
+			return ua.CompletionTime < ub.CompletionTime
+		}
+		return ua.ClientID < ub.ClientID
+	})
+	take := int(math.Ceil(r.Cfg.AggregateFraction * float64(len(updates))))
+	if take < 1 {
+		take = 1
+	}
+	collected := make([]Update, 0, take)
+	discarded := make([]Update, 0, len(updates)-take)
+	for i, oi := range order {
+		// Dropped clients sort last (CompletionTime = +Inf) and are never
+		// aggregated even when the survivor count falls short of the target.
+		if i < take && !updates[oi].Dropped {
+			collected = append(collected, updates[oi])
+		} else {
+			discarded = append(discarded, updates[oi])
+		}
+	}
+	if len(collected) == 0 {
+		panic("fl: every client dropped out this round; lower Config.DropoutProb")
+	}
+	end := collected[len(collected)-1].CompletionTime
+
+	// Aggregation: schemes implementing Aggregator replace the default
+	// weighted FedAvg mean (e.g. SAFA-style stale-update reuse).
+	if agg, ok := r.Scheme.(Aggregator); ok {
+		r.flat = agg.Aggregate(r.round, r.flat, collected, discarded)
+		if len(r.flat) != r.global.NumParams() {
+			panic("fl: aggregator returned a wrong-sized parameter vector")
+		}
+	} else {
+		var totalW float64
+		for _, u := range collected {
+			totalW += u.Weight
+		}
+		agg := make([]float64, len(r.flat))
+		for _, u := range collected {
+			w := u.Weight / totalW
+			for j, v := range u.Delta {
+				agg[j] += w * v
+			}
+		}
+		for j := range r.flat {
+			r.flat[j] += agg[j]
+		}
+	}
+	r.global.SetFlatParams(r.flat)
+
+	for _, u := range collected {
+		r.Hist.Observe(u)
+	}
+	if !r.Cfg.RetainUpdateDeltas {
+		for i := range collected {
+			collected[i].Delta = nil
+		}
+		for i := range discarded {
+			discarded[i].Delta = nil
+		}
+	}
+
+	res := RoundResult{
+		Round:     r.round,
+		Start:     start,
+		End:       end,
+		Collected: collected,
+		Discarded: discarded,
+		Plan:      plan,
+	}
+	var sumIter, sumEager, sumRetr float64
+	for _, u := range collected {
+		sumIter += float64(u.Iterations)
+		sumEager += float64(u.EagerSent)
+		sumRetr += float64(u.Retransmitted)
+	}
+	n := float64(len(collected))
+	res.MeanIterations = sumIter / n
+	res.MeanEagerSent = sumEager / n
+	res.MeanRetrans = sumRetr / n
+	if r.Test != nil {
+		res.Accuracy = Evaluate(r.global, r.Test, r.Cfg.EvalBatch)
+	}
+
+	r.round++
+	r.now = end
+	return res
+}
+
+// RunUntil runs rounds until the accuracy target is reached (maxRounds as a
+// stop-loss) and returns every round result. A target of 0 runs all rounds.
+func (r *Runner) RunUntil(target float64, maxRounds int) []RoundResult {
+	var out []RoundResult
+	for i := 0; i < maxRounds; i++ {
+		res := r.RunRound()
+		out = append(out, res)
+		if target > 0 && res.Accuracy >= target {
+			break
+		}
+	}
+	return out
+}
+
+// Evaluate computes the model's accuracy on ds, in batches of batch samples
+// (0 = single pass over everything).
+func Evaluate(net *nn.Network, ds *data.Dataset, batch int) float64 {
+	n := ds.N()
+	if n == 0 {
+		return 0
+	}
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	dim := ds.Dim()
+	correct := 0
+	xd := ds.X.Data()
+	for startIdx := 0; startIdx < n; startIdx += batch {
+		bs := batch
+		if startIdx+bs > n {
+			bs = n - startIdx
+		}
+		x := nnTensorView(xd, startIdx, bs, dim)
+		logits := net.Forward(x, false)
+		for b := 0; b < bs; b++ {
+			if logits.ArgMaxRow(b) == ds.Y[startIdx+b] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// nnTensorView wraps rows [start, start+batch) of a row-major matrix without
+// copying.
+func nnTensorView(xd []float64, start, batch, dim int) *tensor.Tensor {
+	return tensor.FromSlice(xd[start*dim:(start+batch)*dim], batch, dim)
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a CDF is monotone in both X and P, ends at P = 1, and Quantile
+// is monotone in q.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int, len(raw))
+		for i, v := range raw {
+			samples[i] = int(v)
+		}
+		cdf := CDF(samples)
+		prevX := math.Inf(-1)
+		prevP := 0.0
+		for _, p := range cdf {
+			if p.X <= prevX || p.P <= prevP {
+				return false
+			}
+			prevX, prevP = p.X, p.P
+		}
+		if math.Abs(prevP-1) > 1e-12 {
+			return false
+		}
+		q25 := Quantile(cdf, 0.25)
+		q75 := Quantile(cdf, 0.75)
+		if q25 > q75 {
+			return false
+		}
+		// Quantile(1) is the max sample.
+		sorted := append([]int(nil), samples...)
+		sort.Ints(sorted)
+		return Quantile(cdf, 1) == float64(sorted[len(sorted)-1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RMSE ≤ MaxAbsDiff for any pair of equal-length finite vectors.
+func TestRMSEBoundedByMaxDiff(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		for _, v := range append(append([]float64{}, a[:n]...), b[:n]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		return RMSE(a[:n], b[:n]) <= MaxAbsDiff(a[:n], b[:n])+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

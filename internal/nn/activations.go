@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"fedca/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	dim  int
+	mask []bool
+}
+
+// NewReLU creates a ReLU whose OutDim mirrors the given feature count.
+func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+
+// OutDim returns the feature count.
+func (r *ReLU) OutDim() int { return r.dim }
+
+// Forward zeroes negatives.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	yd := y.Data()
+	if train {
+		r.mask = make([]bool, len(yd))
+	}
+	for i, v := range yd {
+		if v <= 0 {
+			yd[i] = 0
+		} else if train {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward gates gradients by the forward mask.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward without prior Forward(train=true)")
+	}
+	dx := dout.Clone()
+	dd := dx.Data()
+	for i := range dd {
+		if !r.mask[i] {
+			dd[i] = 0
+		}
+	}
+	r.mask = nil
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel over the batch and spatial dimensions
+// and applies a learned affine transform (γ, β).
+//
+// Design note: normalization always uses the statistics of the current batch,
+// in training and evaluation alike. In federated learning the global model's
+// running statistics are never trained on the server, so eval-time running
+// stats would be meaningless there; batch statistics sidestep the problem and
+// keep the synchronized state exactly equal to the trainable parameters,
+// which is also what FedCA's update-centric bookkeeping assumes.
+type BatchNorm2D struct {
+	C, H, W int
+	Eps     float64
+	Gamma   *Param // "<name>.weight"
+	Beta    *Param // "<name>.bias"
+
+	// caches for backward
+	xhat   []float64
+	invStd []float64
+	batch  int
+}
+
+// NewBatchNorm2D creates a batch-norm layer for [B, C·H·W] inputs.
+func NewBatchNorm2D(name string, c, h, w int) *BatchNorm2D {
+	b := &BatchNorm2D{
+		C: c, H: h, W: w, Eps: 1e-5,
+		Gamma: newParam(name+".weight", c),
+		Beta:  newParam(name+".bias", c),
+	}
+	b.Gamma.Value.Fill(1)
+	return b
+}
+
+// Init resets γ to 1 and β to 0.
+func (b *BatchNorm2D) Init(_ *rng.RNG) {
+	b.Gamma.Value.Fill(1)
+	b.Beta.Value.Zero()
+}
+
+// OutDim returns the per-sample feature count (unchanged by normalization).
+func (b *BatchNorm2D) OutDim() int { return b.C * b.H * b.W }
+
+// Forward normalizes per channel and applies γ, β.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	spatial := b.H * b.W
+	inDim := b.C * spatial
+	n := float64(batch * spatial)
+	y := tensor.New(batch, inDim)
+	xd, yd := x.Data(), y.Data()
+	if train {
+		b.xhat = make([]float64, batch*inDim)
+		b.invStd = make([]float64, b.C)
+		b.batch = batch
+	}
+	g, be := b.Gamma.Value.Data(), b.Beta.Value.Data()
+	for c := 0; c < b.C; c++ {
+		// mean and variance of channel c over batch × spatial
+		sum, sum2 := 0.0, 0.0
+		for i := 0; i < batch; i++ {
+			row := xd[i*inDim+c*spatial : i*inDim+(c+1)*spatial]
+			for _, v := range row {
+				sum += v
+				sum2 += v * v
+			}
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if variance < 0 {
+			variance = 0 // numeric guard
+		}
+		invStd := 1 / math.Sqrt(variance+b.Eps)
+		if train {
+			b.invStd[c] = invStd
+		}
+		gamma, beta := g[c], be[c]
+		for i := 0; i < batch; i++ {
+			base := i*inDim + c*spatial
+			for j := 0; j < spatial; j++ {
+				xh := (xd[base+j] - mean) * invStd
+				if train {
+					b.xhat[base+j] = xh
+				}
+				yd[base+j] = gamma*xh + beta
+			}
+		}
+	}
+	return y
+}
+
+// Backward computes the standard batch-norm gradient.
+func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if b.xhat == nil {
+		panic("nn: BatchNorm2D.Backward without prior Forward(train=true)")
+	}
+	batch := b.batch
+	spatial := b.H * b.W
+	inDim := b.C * spatial
+	n := float64(batch * spatial)
+	dx := tensor.New(batch, inDim)
+	dd, dxd := dout.Data(), dx.Data()
+	gg, bg := b.Gamma.Grad.Data(), b.Beta.Grad.Data()
+	g := b.Gamma.Value.Data()
+	for c := 0; c < b.C; c++ {
+		// Accumulate Σdout and Σ(dout·x̂) for channel c.
+		var sumD, sumDX float64
+		for i := 0; i < batch; i++ {
+			base := i*inDim + c*spatial
+			for j := 0; j < spatial; j++ {
+				d := dd[base+j]
+				sumD += d
+				sumDX += d * b.xhat[base+j]
+			}
+		}
+		gg[c] += sumDX
+		bg[c] += sumD
+		k := g[c] * b.invStd[c] / n
+		for i := 0; i < batch; i++ {
+			base := i*inDim + c*spatial
+			for j := 0; j < spatial; j++ {
+				dxd[base+j] = k * (n*dd[base+j] - sumD - b.xhat[base+j]*sumDX)
+			}
+		}
+	}
+	b.xhat = nil
+	return dx
+}
+
+// Params returns γ and β.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

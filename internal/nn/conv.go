@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [B, C·H·W] inputs with fixed geometry.
+// The weight has shape [outC, inC·KH·KW]; forward is im2col + GEMM.
+type Conv2D struct {
+	Geom tensor.ConvGeom
+	OutC int
+	W, B *Param
+	x    *tensor.Tensor
+}
+
+// convScratch is per-worker scratch reused across samples.
+type convScratch struct {
+	col  *tensor.Tensor // [pos, patch]
+	dcol *tensor.Tensor // [pos, patch]
+	out  *tensor.Tensor // [outC, pos] view buffer for backward weight grads
+}
+
+// NewConv2D creates a convolution layer with parameters "<name>.weight" and
+// "<name>.bias".
+func NewConv2D(name string, geom tensor.ConvGeom, outC int, r *rng.RNG) *Conv2D {
+	c := &Conv2D{
+		Geom: geom,
+		OutC: outC,
+		W:    newParam(name+".weight", outC, geom.ColCols()),
+		B:    newParam(name+".bias", outC),
+	}
+	c.seed(r)
+	return c
+}
+
+func (c *Conv2D) seed(r *rng.RNG) {
+	InitKaiming(c.W, c.Geom.ColCols(), r)
+	c.B.Value.Zero()
+}
+
+// Init reinitializes the layer's parameters.
+func (c *Conv2D) Init(r *rng.RNG) { c.seed(r) }
+
+// InDim returns the expected per-sample input feature count.
+func (c *Conv2D) InDim() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
+
+// OutDim returns the per-sample output feature count.
+func (c *Conv2D) OutDim() int { return c.OutC * c.Geom.OutH * c.Geom.OutW }
+
+// heavy reports whether the batch convolution is worth parallelizing.
+func (c *Conv2D) heavy(batch int) bool {
+	return batch*c.Geom.ColRows()*c.Geom.ColCols()*c.OutC > 1<<16
+}
+
+// Forward computes the convolution for each sample in the batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	pos := c.Geom.ColRows()
+	patch := c.Geom.ColCols()
+	inDim := c.InDim()
+	y := tensor.New(batch, c.OutDim())
+	xd, yd := x.Data(), y.Data()
+	bias := c.B.Value.Data()
+	parallelSamples(batch, c.heavy(batch), func() interface{} {
+		return &convScratch{col: tensor.New(pos, patch)}
+	}, func(i int, scratch interface{}) {
+		s := scratch.(*convScratch)
+		c.Geom.Im2Col(xd[i*inDim:(i+1)*inDim], s.col.Data())
+		out := tensor.FromSlice(yd[i*c.OutDim():(i+1)*c.OutDim()], c.OutC, pos)
+		tensor.MatMulTransB(out, c.W.Value, s.col)
+		od := out.Data()
+		for oc := 0; oc < c.OutC; oc++ {
+			b := bias[oc]
+			row := od[oc*pos : (oc+1)*pos]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	})
+	if train {
+		c.x = x
+	}
+	return y
+}
+
+// Backward propagates gradients. Per-sample weight/bias gradient
+// contributions are computed in parallel into per-sample buffers and then
+// reduced sequentially in sample order, so the floating-point accumulation
+// order — and therefore the result — is identical at any worker count.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.x == nil {
+		panic("nn: Conv2D.Backward without prior Forward(train=true)")
+	}
+	batch := dout.Dim(0)
+	pos := c.Geom.ColRows()
+	patch := c.Geom.ColCols()
+	inDim := c.InDim()
+	outDim := c.OutDim()
+	xd := c.x.Data()
+	dd := dout.Data()
+	dx := tensor.New(batch, inDim)
+	dxd := dx.Data()
+	// Per-sample gradient contributions, reduced in order afterwards.
+	dWs := make([]float64, batch*c.OutC*patch)
+	dBs := make([]float64, batch*c.OutC)
+	parallelSamples(batch, c.heavy(batch), func() interface{} {
+		return &convScratch{col: tensor.New(pos, patch), dcol: tensor.New(pos, patch)}
+	}, func(i int, scratch interface{}) {
+		s := scratch.(*convScratch)
+		c.Geom.Im2Col(xd[i*inDim:(i+1)*inDim], s.col.Data())
+		doutS := tensor.FromSlice(dd[i*outDim:(i+1)*outDim], c.OutC, pos)
+		// dW_i[outC,patch] = dout_i[outC,pos] · col[pos,patch]
+		dWi := tensor.FromSlice(dWs[i*c.OutC*patch:(i+1)*c.OutC*patch], c.OutC, patch)
+		tensor.MatMul(dWi, doutS, s.col)
+		// db_i[oc] = Σ_pos dout_i[oc,pos]
+		dsd := doutS.Data()
+		for oc := 0; oc < c.OutC; oc++ {
+			sum := 0.0
+			for _, v := range dsd[oc*pos : (oc+1)*pos] {
+				sum += v
+			}
+			dBs[i*c.OutC+oc] = sum
+		}
+		// dcol[pos,patch] = dout_iᵀ[pos,outC] · W[outC,patch]
+		tensor.MatMulTransA(s.dcol, doutS, c.W.Value)
+		dxi := dxd[i*inDim : (i+1)*inDim]
+		c.Geom.Col2Im(s.dcol.Data(), dxi)
+	})
+	// Deterministic reduction in sample order.
+	wg := c.W.Grad.Data()
+	for i := 0; i < batch; i++ {
+		chunk := dWs[i*len(wg) : (i+1)*len(wg)]
+		for j := range wg {
+			wg[j] += chunk[j]
+		}
+	}
+	bg := c.B.Grad.Data()
+	for i := 0; i < batch; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bg[oc] += dBs[i*c.OutC+oc]
+		}
+	}
+	c.x = nil
+	return dx
+}
+
+// Params returns weight and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

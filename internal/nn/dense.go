@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape [out, in].
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       *tensor.Tensor // cached input for Backward
+}
+
+// NewDense creates a dense layer whose parameters are named
+// "<name>.weight" and "<name>.bias".
+func NewDense(name string, in, out int, r *rng.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   newParam(name+".weight", out, in),
+		B:   newParam(name+".bias", out),
+	}
+	d.seed(r)
+	return d
+}
+
+func (d *Dense) seed(r *rng.RNG) {
+	InitKaiming(d.W, d.In, r)
+	d.B.Value.Zero()
+}
+
+// Init reinitializes the layer's parameters.
+func (d *Dense) Init(r *rng.RNG) { d.seed(r) }
+
+// Forward computes y[B,out] = x[B,in]·Wᵀ + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	y := tensor.New(batch, d.Out)
+	tensor.MatMulTransB(y, x, d.W.Value)
+	bd := d.B.Value.Data()
+	yd := y.Data()
+	for i := 0; i < batch; i++ {
+		row := yd[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	if train {
+		d.x = x
+	}
+	return y
+}
+
+// Backward computes dx = dout·W, dW += doutᵀ·x, db += Σ_batch dout.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic("nn: Dense.Backward without prior Forward(train=true)")
+	}
+	batch := dout.Dim(0)
+	// dW[out,in] += doutᵀ[out,B] · x[B,in]
+	dW := tensor.New(d.Out, d.In)
+	tensor.MatMulTransA(dW, dout, d.x)
+	d.W.Grad.Add(dW)
+	// db += column sums of dout
+	dbd := d.B.Grad.Data()
+	dd := dout.Data()
+	for i := 0; i < batch; i++ {
+		row := dd[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			dbd[j] += row[j]
+		}
+	}
+	// dx[B,in] = dout[B,out] · W[out,in]
+	dx := tensor.New(batch, d.In)
+	tensor.MatMul(dx, dout, d.W.Value)
+	d.x = nil
+	return dx
+}
+
+// Params returns weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutDim returns the output feature count.
+func (d *Dense) OutDim() int { return d.Out }

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// scales the survivors by 1/(1−P) (inverted dropout), so evaluation needs no
+// rescaling. WideResNet places dropout between the two convolutions of each
+// residual block.
+//
+// Determinism: masks are drawn from the layer's own RNG. In the FL simulator
+// a worker network is shared across clients, so RunClientRound reseeds noise
+// layers per (client, round) via Network.ReseedNoise — masks then depend only
+// on the client and round, not on goroutine scheduling.
+type Dropout struct {
+	P    float64
+	dim  int
+	r    *rng.RNG
+	mask []bool
+}
+
+// NewDropout creates a dropout layer over dim features. It panics unless
+// 0 ≤ p < 1.
+func NewDropout(p float64, dim int, r *rng.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, dim: dim, r: r}
+}
+
+// OutDim returns the feature count (unchanged).
+func (d *Dropout) OutDim() int { return d.dim }
+
+// ReseedNoise re-derives the mask stream from the given seed.
+func (d *Dropout) ReseedNoise(seed uint64) { d.r = rng.New(seed) }
+
+// Forward applies the mask during training; evaluation passes through.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	yd := y.Data()
+	d.mask = make([]bool, len(yd))
+	scale := 1 / (1 - d.P)
+	for i := range yd {
+		if d.r.Float64() < d.P {
+			yd[i] = 0
+		} else {
+			d.mask[i] = true
+			yd[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward gates and rescales gradients by the forward mask. If Forward ran
+// in eval mode (or P = 0) it passes gradients through.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dout
+	}
+	dx := dout.Clone()
+	dd := dx.Data()
+	scale := 1 / (1 - d.P)
+	for i := range dd {
+		if d.mask[i] {
+			dd[i] *= scale
+		} else {
+			dd[i] = 0
+		}
+	}
+	d.mask = nil
+	return dx
+}
+
+// Params returns nil: dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

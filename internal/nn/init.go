@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math"
+
+	"fedca/internal/rng"
+)
+
+// InitKaiming fills p.Value with Kaiming-normal weights for the given fan-in,
+// the standard initialization for ReLU networks.
+func InitKaiming(p *Param, fanIn int, r *rng.RNG) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	d := p.Value.Data()
+	for i := range d {
+		d[i] = r.Normal(0, std)
+	}
+}
+
+// InitXavier fills p.Value with Xavier/Glorot-uniform weights, the standard
+// initialization for tanh/sigmoid (LSTM) layers.
+func InitXavier(p *Param, fanIn, fanOut int, r *rng.RNG) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	d := p.Value.Data()
+	for i := range d {
+		d[i] = r.Uniform(-limit, limit)
+	}
+}
+
+// InitNetwork initializes every parameter of the network deterministically
+// from the given RNG: weights get Kaiming/Xavier-style scaling inferred from
+// their shape, biases and norm offsets get zero, norm scales get one.
+// Layers that need bespoke init (LSTM) do it at construction; this is the
+// generic path used when (re)seeding a model.
+func InitNetwork(n *Network, r *rng.RNG) {
+	for _, l := range n.Layers {
+		if init, ok := l.(interface{ Init(*rng.RNG) }); ok {
+			init.Init(r)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+
+	"fedca/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits [B, C]
+// against integer labels and the gradient dL/dlogits in one pass (the fused
+// softmax-CE backward: (softmax − onehot)/B).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor) {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	if len(labels) != batch {
+		panic("nn: SoftmaxCrossEntropy labels length mismatch")
+	}
+	dlogits = tensor.New(batch, classes)
+	ld, dd := logits.Data(), dlogits.Data()
+	invB := 1.0 / float64(batch)
+	for b := 0; b < batch; b++ {
+		row := ld[b*classes : (b+1)*classes]
+		// log-sum-exp with max subtraction for stability
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logZ := maxv + math.Log(sum)
+		y := labels[b]
+		if y < 0 || y >= classes {
+			panic("nn: SoftmaxCrossEntropy label out of range")
+		}
+		loss += (logZ - row[y]) * invB
+		drow := dd[b*classes : (b+1)*classes]
+		for j, v := range row {
+			drow[j] = math.Exp(v-logZ) * invB
+		}
+		drow[y] -= invB
+	}
+	return loss, dlogits
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	batch := logits.Dim(0)
+	if batch == 0 {
+		return 0
+	}
+	correct := 0
+	for b := 0; b < batch; b++ {
+		if logits.ArgMaxRow(b) == labels[b] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(batch)
+}

@@ -1,0 +1,287 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// LSTM is a (possibly multi-layer) LSTM over [B, T·D] inputs, returning the
+// last hidden state of the top layer, [B, H]. Parameter names follow the
+// PyTorch convention the paper's figures use: "<name>.weight_ih_l0",
+// "<name>.weight_hh_l0", "<name>.bias_ih_l0", "<name>.bias_hh_l0", and the
+// same with l1, l2, … for deeper stacks. Gate order is i, f, g, o.
+type LSTM struct {
+	InDim, Hidden, T, NumLayers int
+	layers                      []*lstmLayer
+}
+
+type lstmLayer struct {
+	in, hidden         int
+	wih, whh, bih, bhh *Param
+	// BPTT caches, one entry per timestep
+	xs, hPrevs, cPrevs     []*tensor.Tensor
+	is, fs, gs, os, tanhCs []*tensor.Tensor
+	batch                  int
+}
+
+// NewLSTM builds an LSTM stack. seqLen is the fixed number of timesteps T.
+func NewLSTM(name string, inDim, hidden, seqLen, numLayers int, r *rng.RNG) *LSTM {
+	if numLayers < 1 {
+		panic("nn: LSTM needs at least one layer")
+	}
+	l := &LSTM{InDim: inDim, Hidden: hidden, T: seqLen, NumLayers: numLayers}
+	for i := 0; i < numLayers; i++ {
+		in := inDim
+		if i > 0 {
+			in = hidden
+		}
+		ll := &lstmLayer{
+			in:     in,
+			hidden: hidden,
+			wih:    newParam(fmt.Sprintf("%s.weight_ih_l%d", name, i), 4*hidden, in),
+			whh:    newParam(fmt.Sprintf("%s.weight_hh_l%d", name, i), 4*hidden, hidden),
+			bih:    newParam(fmt.Sprintf("%s.bias_ih_l%d", name, i), 4*hidden),
+			bhh:    newParam(fmt.Sprintf("%s.bias_hh_l%d", name, i), 4*hidden),
+		}
+		l.layers = append(l.layers, ll)
+	}
+	l.Init(r)
+	return l
+}
+
+// Init applies Xavier initialization to the recurrent weights and sets the
+// forget-gate bias to 1 (the classic trick for stable early training).
+func (l *LSTM) Init(r *rng.RNG) {
+	for _, ll := range l.layers {
+		InitXavier(ll.wih, ll.in, ll.hidden, r)
+		InitXavier(ll.whh, ll.hidden, ll.hidden, r)
+		ll.bih.Value.Zero()
+		ll.bhh.Value.Zero()
+		// forget-gate slice is [H, 2H)
+		bd := ll.bih.Value.Data()
+		for j := ll.hidden; j < 2*ll.hidden; j++ {
+			bd[j] = 1
+		}
+	}
+}
+
+// OutDim returns the hidden size H.
+func (l *LSTM) OutDim() int { return l.Hidden }
+
+// Params returns all stacked-layer parameters in layer order.
+func (l *LSTM) Params() []*Param {
+	var ps []*Param
+	for _, ll := range l.layers {
+		ps = append(ps, ll.wih, ll.whh, ll.bih, ll.bhh)
+	}
+	return ps
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// step runs one timestep: given x [B,in], hPrev and cPrev [B,H], it returns
+// h and c and (when train) caches everything needed for backward.
+func (ll *lstmLayer) step(x, hPrev, cPrev *tensor.Tensor, train bool) (h, c *tensor.Tensor) {
+	batch := x.Dim(0)
+	hid := ll.hidden
+	gates := tensor.New(batch, 4*hid)
+	tensor.MatMulTransB(gates, x, ll.wih.Value)
+	hh := tensor.New(batch, 4*hid)
+	tensor.MatMulTransB(hh, hPrev, ll.whh.Value)
+	gates.Add(hh)
+	gd := gates.Data()
+	bi, bh := ll.bih.Value.Data(), ll.bhh.Value.Data()
+	for b := 0; b < batch; b++ {
+		row := gd[b*4*hid : (b+1)*4*hid]
+		for j := range row {
+			row[j] += bi[j] + bh[j]
+		}
+	}
+	i := tensor.New(batch, hid)
+	f := tensor.New(batch, hid)
+	g := tensor.New(batch, hid)
+	o := tensor.New(batch, hid)
+	c = tensor.New(batch, hid)
+	h = tensor.New(batch, hid)
+	tc := tensor.New(batch, hid)
+	id, fd, gdd, od := i.Data(), f.Data(), g.Data(), o.Data()
+	cd, hd, tcd := c.Data(), h.Data(), tc.Data()
+	cp := cPrev.Data()
+	for b := 0; b < batch; b++ {
+		row := gd[b*4*hid : (b+1)*4*hid]
+		for j := 0; j < hid; j++ {
+			iv := sigmoid(row[j])
+			fv := sigmoid(row[hid+j])
+			gv := math.Tanh(row[2*hid+j])
+			ov := sigmoid(row[3*hid+j])
+			cv := fv*cp[b*hid+j] + iv*gv
+			tcv := math.Tanh(cv)
+			idx := b*hid + j
+			id[idx], fd[idx], gdd[idx], od[idx] = iv, fv, gv, ov
+			cd[idx] = cv
+			tcd[idx] = tcv
+			hd[idx] = ov * tcv
+		}
+	}
+	if train {
+		ll.xs = append(ll.xs, x)
+		ll.hPrevs = append(ll.hPrevs, hPrev)
+		ll.cPrevs = append(ll.cPrevs, cPrev)
+		ll.is = append(ll.is, i)
+		ll.fs = append(ll.fs, f)
+		ll.gs = append(ll.gs, g)
+		ll.os = append(ll.os, o)
+		ll.tanhCs = append(ll.tanhCs, tc)
+	}
+	return h, c
+}
+
+// Forward consumes [B, T·D] and returns the top layer's last hidden state.
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	if x.Dim(1) != l.T*l.InDim {
+		panic(fmt.Sprintf("nn: LSTM input dim %d, want T·D = %d", x.Dim(1), l.T*l.InDim))
+	}
+	// Slice the sequence into per-timestep tensors once.
+	seq := make([]*tensor.Tensor, l.T)
+	xd := x.Data()
+	for t := 0; t < l.T; t++ {
+		xt := tensor.New(batch, l.InDim)
+		xtd := xt.Data()
+		for b := 0; b < batch; b++ {
+			copy(xtd[b*l.InDim:(b+1)*l.InDim], xd[b*l.T*l.InDim+t*l.InDim:b*l.T*l.InDim+(t+1)*l.InDim])
+		}
+		seq[t] = xt
+	}
+	var lastH *tensor.Tensor
+	for li, ll := range l.layers {
+		if train {
+			ll.xs = nil
+			ll.hPrevs = nil
+			ll.cPrevs = nil
+			ll.is, ll.fs, ll.gs, ll.os, ll.tanhCs = nil, nil, nil, nil, nil
+			ll.batch = batch
+		}
+		h := tensor.New(batch, l.Hidden)
+		c := tensor.New(batch, l.Hidden)
+		out := make([]*tensor.Tensor, l.T)
+		for t := 0; t < l.T; t++ {
+			h, c = ll.step(seq[t], h, c, train)
+			out[t] = h
+		}
+		seq = out
+		if li == len(l.layers)-1 {
+			lastH = h
+		}
+	}
+	return lastH
+}
+
+// Backward runs truncated-free BPTT over the cached sequence. dout is the
+// gradient of the top layer's last hidden state.
+func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	top := len(l.layers) - 1
+	if len(l.layers[top].xs) != l.T {
+		panic("nn: LSTM.Backward without prior Forward(train=true)")
+	}
+	batch := l.layers[top].batch
+	// dhSeq[t] is the gradient flowing into layer L's hidden output at t
+	// from above (the layer above's dx, or the head loss for the top layer).
+	dhSeq := make([]*tensor.Tensor, l.T)
+	for t := range dhSeq {
+		dhSeq[t] = tensor.New(batch, l.Hidden)
+	}
+	dhSeq[l.T-1].CopyFrom(dout)
+	var dxSeq []*tensor.Tensor
+	for li := top; li >= 0; li-- {
+		dxSeq = l.layers[li].bptt(dhSeq)
+		if li > 0 {
+			dhSeq = dxSeq
+		}
+	}
+	// Reassemble [B, T·D] input gradient from the bottom layer's dx.
+	dx := tensor.New(batch, l.T*l.InDim)
+	dxd := dx.Data()
+	for t := 0; t < l.T; t++ {
+		sd := dxSeq[t].Data()
+		for b := 0; b < batch; b++ {
+			copy(dxd[b*l.T*l.InDim+t*l.InDim:b*l.T*l.InDim+(t+1)*l.InDim], sd[b*l.InDim:(b+1)*l.InDim])
+		}
+	}
+	return dx
+}
+
+// bptt backpropagates through one layer's cached sequence. dhSeq[t] carries
+// the external gradient on h_t; the recurrent gradient is threaded
+// internally. It returns the per-timestep input gradients.
+func (ll *lstmLayer) bptt(dhSeq []*tensor.Tensor) []*tensor.Tensor {
+	T := len(ll.xs)
+	batch := ll.batch
+	hid := ll.hidden
+	dxSeq := make([]*tensor.Tensor, T)
+	dhNext := tensor.New(batch, hid) // recurrent dL/dh flowing from t+1
+	dcNext := tensor.New(batch, hid)
+	dgates := tensor.New(batch, 4*hid)
+	for t := T - 1; t >= 0; t-- {
+		dh := dhSeq[t].Clone()
+		dh.Add(dhNext)
+		id, fd, gd, od := ll.is[t].Data(), ll.fs[t].Data(), ll.gs[t].Data(), ll.os[t].Data()
+		tcd := ll.tanhCs[t].Data()
+		cpd := ll.cPrevs[t].Data()
+		dhd := dh.Data()
+		dcn := dcNext.Data()
+		dgd := dgates.Data()
+		dcPrev := tensor.New(batch, hid)
+		dcp := dcPrev.Data()
+		for b := 0; b < batch; b++ {
+			for j := 0; j < hid; j++ {
+				idx := b*hid + j
+				dhv := dhd[idx]
+				o := od[idx]
+				tc := tcd[idx]
+				dc := dhv*o*(1-tc*tc) + dcn[idx]
+				i, f, g := id[idx], fd[idx], gd[idx]
+				di := dc * g
+				df := dc * cpd[idx]
+				dg := dc * i
+				do := dhv * tc
+				base := b * 4 * hid
+				dgd[base+j] = di * i * (1 - i)
+				dgd[base+hid+j] = df * f * (1 - f)
+				dgd[base+2*hid+j] = dg * (1 - g*g)
+				dgd[base+3*hid+j] = do * o * (1 - o)
+				dcp[idx] = dc * f
+			}
+		}
+		// Parameter gradients: dWih += dgatesᵀ·x, dWhh += dgatesᵀ·hPrev.
+		dWih := tensor.New(4*hid, ll.in)
+		tensor.MatMulTransA(dWih, dgates, ll.xs[t])
+		ll.wih.Grad.Add(dWih)
+		dWhh := tensor.New(4*hid, hid)
+		tensor.MatMulTransA(dWhh, dgates, ll.hPrevs[t])
+		ll.whh.Grad.Add(dWhh)
+		bi, bh := ll.bih.Grad.Data(), ll.bhh.Grad.Data()
+		for b := 0; b < batch; b++ {
+			row := dgd[b*4*hid : (b+1)*4*hid]
+			for j, v := range row {
+				bi[j] += v
+				bh[j] += v
+			}
+		}
+		// Input and recurrent gradients.
+		dx := tensor.New(batch, ll.in)
+		tensor.MatMul(dx, dgates, ll.wih.Value)
+		dxSeq[t] = dx
+		dhPrev := tensor.New(batch, hid)
+		tensor.MatMul(dhPrev, dgates, ll.whh.Value)
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	// Release caches.
+	ll.xs, ll.hPrevs, ll.cPrevs = nil, nil, nil
+	ll.is, ll.fs, ll.gs, ll.os, ll.tanhCs = nil, nil, nil, nil, nil
+	return dxSeq
+}

@@ -1,0 +1,183 @@
+// Package nn implements the neural-network training stack used by the FedCA
+// reproduction: layers with hand-written forward/backward passes, named
+// parameters (so FedCA can reason at per-layer granularity, e.g.
+// "conv2.weight" or "rnn.weight_hh_l0"), a softmax-cross-entropy loss and an
+// SGD optimizer with weight decay.
+//
+// Data layout: a batch is a 2-D tensor [B, features]; convolutional layers
+// interpret the feature dimension as C·H·W with geometry fixed at
+// construction time. Each layer caches what it needs during Forward and
+// consumes the cache in Backward, so the usage pattern is strictly
+// forward-then-backward per batch (as in a standard training loop).
+package nn
+
+import (
+	"fmt"
+
+	"fedca/internal/tensor"
+)
+
+// Param is a named trainable parameter with its gradient accumulator.
+// Names are hierarchical with dots, e.g. "conv1.weight", "fc2.bias",
+// "rnn.weight_ih_l0", "conv3.0.residual.0.weight" — deliberately matching the
+// PyTorch-style names the paper's figures reference.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a parameter and its gradient with the same shape.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for a batch. train toggles
+	// training-only behaviour (batch-norm statistics, dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients into Params().Grad. It must be called exactly once
+	// after each Forward with train=true.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// OutDim returns the per-sample output feature count.
+	OutDim() int
+}
+
+// Network is a sequential composition of layers with a stable, flat list of
+// named parameters.
+type Network struct {
+	Layers []Layer
+	params []*Param
+}
+
+// NewNetwork builds a network from layers and collects their parameters in
+// order. Duplicate parameter names are a construction bug and panic.
+func NewNetwork(layers ...Layer) *Network {
+	n := &Network{Layers: layers}
+	seen := make(map[string]bool)
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			if seen[p.Name] {
+				panic(fmt.Sprintf("nn: duplicate parameter name %q", p.Name))
+			}
+			seen[p.Name] = true
+			n.params = append(n.params, p)
+		}
+	}
+	return n
+}
+
+// Forward runs the full network.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dout through all layers in reverse.
+func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all parameters in construction order.
+func (n *Network) Params() []*Param { return n.params }
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.params {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.params {
+		total += p.Value.Size()
+	}
+	return total
+}
+
+// FlatParams copies all parameter values into a single flat vector, in
+// construction order. The layout is stable across calls.
+func (n *Network) FlatParams() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.params {
+		out = append(out, p.Value.Data()...)
+	}
+	return out
+}
+
+// SetFlatParams loads parameter values from a flat vector produced by
+// FlatParams (or by aggregation of such vectors).
+func (n *Network) SetFlatParams(flat []float64) {
+	if len(flat) != n.NumParams() {
+		panic(fmt.Sprintf("nn: SetFlatParams got %d values, want %d", len(flat), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.params {
+		d := p.Value.Data()
+		copy(d, flat[off:off+len(d)])
+		off += len(d)
+	}
+}
+
+// ParamRanges returns, for each named parameter in order, its [start, end)
+// range within the flat vector. FedCA uses this to slice per-layer updates
+// out of a flat accumulated update.
+func (n *Network) ParamRanges() []ParamRange {
+	out := make([]ParamRange, 0, len(n.params))
+	off := 0
+	for _, p := range n.params {
+		sz := p.Value.Size()
+		out = append(out, ParamRange{Name: p.Name, Start: off, End: off + sz})
+		off += sz
+	}
+	return out
+}
+
+// VisitLayers walks every layer depth-first, descending into residual blocks.
+func (n *Network) VisitLayers(fn func(Layer)) {
+	var walk func(ls []Layer)
+	walk = func(ls []Layer) {
+		for _, l := range ls {
+			fn(l)
+			if r, ok := l.(*Residual); ok {
+				walk(r.Body)
+				walk(r.Shortcut)
+			}
+		}
+	}
+	walk(n.Layers)
+}
+
+// ReseedNoise re-derives every noise layer's randomness (dropout masks) from
+// seed. The FL executor calls this per (client, round) so that stochastic
+// layers stay deterministic even when worker networks are shared across
+// clients.
+func (n *Network) ReseedNoise(seed uint64) {
+	i := uint64(0)
+	n.VisitLayers(func(l Layer) {
+		if nl, ok := l.(interface{ ReseedNoise(uint64) }); ok {
+			nl.ReseedNoise(seed + 0x9e3779b97f4a7c15*(i+1))
+			i++
+		}
+	})
+}
+
+// ParamRange locates one named parameter inside the flat parameter vector.
+type ParamRange struct {
+	Name       string
+	Start, End int
+}
+
+// Size returns the number of scalars in the range.
+func (r ParamRange) Size() int { return r.End - r.Start }

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelSamples runs fn(i) for i in [0, n), fanning out across workers when
+// the per-item work is heavy (convolutions over a batch). Each index is
+// processed by exactly one worker, so any writes partitioned by i are
+// race-free and the result is independent of scheduling.
+//
+// makeScratch, if non-nil, allocates per-worker scratch passed to fn; this
+// lets convolution reuse one im2col buffer per worker instead of per sample.
+func parallelSamples(n int, heavy bool, makeScratch func() interface{}, fn func(i int, scratch interface{})) {
+	workers := runtime.GOMAXPROCS(0)
+	if !heavy || workers <= 1 || n <= 1 {
+		var scratch interface{}
+		if makeScratch != nil {
+			scratch = makeScratch()
+		}
+		for i := 0; i < n; i++ {
+			fn(i, scratch)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var mu sync.Mutex
+	takeNext := func() int {
+		mu.Lock()
+		i := int(next)
+		next++
+		mu.Unlock()
+		return i
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var scratch interface{}
+			if makeScratch != nil {
+				scratch = makeScratch()
+			}
+			for {
+				i := takeNext()
+				if i >= n {
+					return
+				}
+				fn(i, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+}

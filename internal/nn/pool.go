@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedca/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over [B, C·H·W] inputs.
+type MaxPool2D struct {
+	C, H, W    int
+	K, Stride  int
+	OutH, OutW int
+	argmax     []int32 // per Forward: input offset chosen for each output elem
+	batch      int
+}
+
+// NewMaxPool2D creates a max-pool layer with square kernel K and stride.
+func NewMaxPool2D(c, h, w, k, stride int) *MaxPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: MaxPool2D kernel and stride must be positive")
+	}
+	outH := (h-k)/stride + 1
+	outW := (w-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D output %dx%d not positive", outH, outW))
+	}
+	return &MaxPool2D{C: c, H: h, W: w, K: k, Stride: stride, OutH: outH, OutW: outW}
+}
+
+// OutDim returns the per-sample output feature count.
+func (p *MaxPool2D) OutDim() int { return p.C * p.OutH * p.OutW }
+
+// InDim returns the expected per-sample input feature count.
+func (p *MaxPool2D) InDim() int { return p.C * p.H * p.W }
+
+// Forward selects the maximum in each pooling window.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	inDim := p.InDim()
+	outDim := p.OutDim()
+	y := tensor.New(batch, outDim)
+	if train {
+		p.argmax = make([]int32, batch*outDim)
+		p.batch = batch
+	}
+	xd, yd := x.Data(), y.Data()
+	for i := 0; i < batch; i++ {
+		xs := xd[i*inDim : (i+1)*inDim]
+		ys := yd[i*outDim : (i+1)*outDim]
+		oi := 0
+		for c := 0; c < p.C; c++ {
+			chanBase := c * p.H * p.W
+			for oy := 0; oy < p.OutH; oy++ {
+				for ox := 0; ox < p.OutW; ox++ {
+					bestOff := chanBase + oy*p.Stride*p.W + ox*p.Stride
+					best := xs[bestOff]
+					for ky := 0; ky < p.K; ky++ {
+						rowOff := chanBase + (oy*p.Stride+ky)*p.W + ox*p.Stride
+						for kx := 0; kx < p.K; kx++ {
+							if v := xs[rowOff+kx]; v > best {
+								best = v
+								bestOff = rowOff + kx
+							}
+						}
+					}
+					ys[oi] = best
+					if train {
+						p.argmax[i*outDim+oi] = int32(bestOff)
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each output gradient to the input element that won the max.
+func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward without prior Forward(train=true)")
+	}
+	outDim := p.OutDim()
+	inDim := p.InDim()
+	dx := tensor.New(p.batch, inDim)
+	dd, dxd := dout.Data(), dx.Data()
+	for i := 0; i < p.batch; i++ {
+		for oi := 0; oi < outDim; oi++ {
+			dxd[i*inDim+int(p.argmax[i*outDim+oi])] += dd[i*outDim+oi]
+		}
+	}
+	p.argmax = nil
+	return dx
+}
+
+// Params returns nil: pooling has no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool2D averages each channel over its spatial extent,
+// mapping [B, C·H·W] to [B, C]. Used as the WRN head.
+type GlobalAvgPool2D struct {
+	C, H, W int
+	batch   int
+}
+
+// NewGlobalAvgPool2D creates a global average pooling layer.
+func NewGlobalAvgPool2D(c, h, w int) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{C: c, H: h, W: w}
+}
+
+// OutDim returns C.
+func (g *GlobalAvgPool2D) OutDim() int { return g.C }
+
+// Forward averages spatially per channel.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	spatial := g.H * g.W
+	inDim := g.C * spatial
+	y := tensor.New(batch, g.C)
+	xd, yd := x.Data(), y.Data()
+	inv := 1.0 / float64(spatial)
+	for i := 0; i < batch; i++ {
+		xs := xd[i*inDim : (i+1)*inDim]
+		for c := 0; c < g.C; c++ {
+			sum := 0.0
+			for _, v := range xs[c*spatial : (c+1)*spatial] {
+				sum += v
+			}
+			yd[i*g.C+c] = sum * inv
+		}
+	}
+	g.batch = batch
+	return y
+}
+
+// Backward spreads each channel gradient uniformly over its spatial extent.
+func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	spatial := g.H * g.W
+	inDim := g.C * spatial
+	dx := tensor.New(g.batch, inDim)
+	dd, dxd := dout.Data(), dx.Data()
+	inv := 1.0 / float64(spatial)
+	for i := 0; i < g.batch; i++ {
+		for c := 0; c < g.C; c++ {
+			grad := dd[i*g.C+c] * inv
+			row := dxd[i*inDim+c*spatial : i*inDim+(c+1)*spatial]
+			for j := range row {
+				row[j] = grad
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no parameters.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }

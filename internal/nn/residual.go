@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedca/internal/tensor"
+)
+
+// Residual computes y = body(x) + shortcut(x), the building block of
+// WideResNet-style networks. An empty shortcut means identity (which
+// requires body to preserve the feature count).
+type Residual struct {
+	Body     []Layer
+	Shortcut []Layer // nil/empty = identity
+	outDim   int
+}
+
+// NewResidual wires a residual block and validates dimensions.
+func NewResidual(body, shortcut []Layer, inDim int) *Residual {
+	if len(body) == 0 {
+		panic("nn: Residual requires a non-empty body")
+	}
+	bodyOut := body[len(body)-1].OutDim()
+	shortOut := inDim
+	if len(shortcut) > 0 {
+		shortOut = shortcut[len(shortcut)-1].OutDim()
+	}
+	if bodyOut != shortOut {
+		panic(fmt.Sprintf("nn: Residual body out %d != shortcut out %d", bodyOut, shortOut))
+	}
+	return &Residual{Body: body, Shortcut: shortcut, outDim: bodyOut}
+}
+
+// OutDim returns the block's output feature count.
+func (r *Residual) OutDim() int { return r.outDim }
+
+// Forward runs both branches and sums them.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b := x
+	for _, l := range r.Body {
+		b = l.Forward(b, train)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.Forward(s, train)
+	}
+	y := b.Clone()
+	y.Add(s)
+	return y
+}
+
+// Backward propagates dout through both branches and sums input gradients.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	db := dout
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		db = r.Body[i].Backward(db)
+	}
+	ds := dout
+	for i := len(r.Shortcut) - 1; i >= 0; i-- {
+		ds = r.Shortcut[i].Backward(ds)
+	}
+	dx := db.Clone()
+	dx.Add(ds)
+	return dx
+}
+
+// Params returns the parameters of both branches.
+func (r *Residual) Params() []*Param {
+	var ps []*Param
+	for _, l := range r.Body {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range r.Shortcut {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,53 @@
+package nn
+
+import "fedca/internal/tensor"
+
+// SGD is stochastic gradient descent with optional momentum and decoupled-L2
+// weight decay, matching the paper's optimizer setup (plain SGD + weight
+// decay; learning rates 0.01/0.05/0.1 per model).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*Param]*tensor.Tensor
+}
+
+// NewSGD creates an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter:
+//
+//	g   = grad + wd·w
+//	v   = μ·v + g        (momentum buffer, if μ > 0)
+//	w  -= lr · v
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				s.velocity[p] = v
+			}
+			vd := v.Data()
+			for i := range w {
+				grad := g[i] + s.WeightDecay*w[i]
+				vd[i] = s.Momentum*vd[i] + grad
+				w[i] -= s.LR * vd[i]
+			}
+		} else {
+			for i := range w {
+				w[i] -= s.LR * (g[i] + s.WeightDecay*w[i])
+			}
+		}
+	}
+}
+
+// Reset clears momentum buffers (used when a client adopts fresh global
+// parameters at round start).
+func (s *SGD) Reset() {
+	s.velocity = make(map[*Param]*tensor.Tensor)
+}

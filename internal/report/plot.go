@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotSeries is one named curve for Plot.
+type PlotSeries struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Plot renders one or more (x, y) series as an ASCII chart of the given
+// character dimensions — the terminal rendition of the paper's line figures
+// (e.g. Fig. 7's time-to-accuracy curves). Each series gets a distinct glyph;
+// overlapping points show the later series' glyph.
+func Plot(title string, series []PlotSeries, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		m := len(s.Xs)
+		if len(s.Ys) < m {
+			m = len(s.Ys)
+		}
+		for i := 0; i < m; i++ {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			n++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if n == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		m := len(s.Xs)
+		if len(s.Ys) < m {
+			m = len(s.Ys)
+		}
+		for i := 0; i < m; i++ {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	yLabelW := 9
+	for r, row := range grid {
+		// y-axis labels on the first/last rows.
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*.3g |", yLabelW-2, maxY)
+		case height - 1:
+			fmt.Fprintf(&b, "%*.3g |", yLabelW-2, minY)
+		default:
+			b.WriteString(strings.Repeat(" ", yLabelW-1))
+			b.WriteByte('|')
+		}
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW-1))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%*s%-.3g%*s%.3g\n", yLabelW, "", minX, width-12, "", maxX)
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := []PlotSeries{
+		{Name: "up", Xs: []float64{0, 1, 2}, Ys: []float64{0, 0.5, 1}},
+		{Name: "down", Xs: []float64{0, 1, 2}, Ys: []float64{1, 0.5, 0}},
+	}
+	out := Plot("demo", s, 40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("glyphs missing")
+	}
+	// Axis labels for min/max y.
+	if !strings.Contains(out, "1 |") || !strings.Contains(out, "0 |") {
+		t.Fatalf("y labels missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot("t", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestPlotSkipsNaN(t *testing.T) {
+	s := []PlotSeries{{Name: "n", Xs: []float64{0, math.NaN(), 2}, Ys: []float64{0, 1, 2}}}
+	out := Plot("", s, 30, 6)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := []PlotSeries{{Name: "flat", Xs: []float64{1, 1, 1}, Ys: []float64{2, 2, 2}}}
+	out := Plot("", s, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat plot missing point:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := []PlotSeries{{Name: "x", Xs: []float64{0, 1}, Ys: []float64{0, 1}}}
+	out := Plot("", s, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestPlotMonotoneSeriesOrientation(t *testing.T) {
+	// Rising series: the top row must contain a point at the right edge and
+	// the bottom row at the left edge.
+	s := []PlotSeries{{Name: "r", Xs: []float64{0, 1, 2, 3}, Ys: []float64{0, 1, 2, 3}}}
+	out := Plot("", s, 20, 5)
+	lines := strings.Split(out, "\n")
+	top := lines[0]
+	bottom := lines[4]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatalf("rows missing glyphs:\n%s", out)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Fatalf("rising series rendered falling:\n%s", out)
+	}
+}

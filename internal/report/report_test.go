@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1: demo", "Model", "Scheme", "Time (s)")
+	tb.AddRow("cnn", "fedavg", 16.7)
+	tb.AddRow("cnn", "fedca", 5.34)
+	out := tb.String()
+	if !strings.Contains(out, "Table 1: demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "Model") || !strings.Contains(out, "fedavg") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows have the same prefix width up to col 2.
+	hdr := lines[1]
+	if !strings.HasPrefix(hdr, "Model") {
+		t.Fatalf("header = %q", hdr)
+	}
+}
+
+func TestTableNumberFormats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(15833.0)
+	tb.AddRow(16.7)
+	tb.AddRow(0.553)
+	tb.AddRow(0.0001)
+	tb.AddRow(42)
+	out := tb.String()
+	for _, want := range []string{"15833", "16.7", "0.553", "1.00e-04", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableTooManyCellsPanics(t *testing.T) {
+	tb := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow(1, 2)
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("fig7-cnn-fedca", []float64{0, 1, 2}, []float64{0.1, 0.2, 0.3}, 0)
+	if !strings.Contains(out, "# fig7-cnn-fedca (3 points)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1\t0.2") {
+		t.Fatalf("point missing:\n%s", out)
+	}
+}
+
+func TestSeriesDownsampleKeepsEndpoint(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) * 2
+	}
+	out := Series("s", xs, ys, 10)
+	if !strings.Contains(out, "99\t198") {
+		t.Fatalf("endpoint missing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines > 15 {
+		t.Fatalf("not downsampled: %d lines", lines)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline = %q", s)
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[2] != '█' {
+		t.Fatalf("sparkline shape = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	// Flat series must not divide by zero.
+	flat := Sparkline([]float64{1, 1, 1})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+}

@@ -1,0 +1,187 @@
+// Package runlog persists training runs as JSON-lines files — one header
+// record followed by one record per round — so long simulations can be
+// inspected, resumed into plots, or diffed across schemes without rerunning.
+package runlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"fedca/internal/fl"
+)
+
+// Header identifies a run.
+type Header struct {
+	Kind    string  `json:"kind"` // always "header"
+	Model   string  `json:"model"`
+	Scheme  string  `json:"scheme"`
+	Clients int     `json:"clients"`
+	K       int     `json:"k"`
+	Seed    uint64  `json:"seed"`
+	Alpha   float64 `json:"alpha,omitempty"`
+}
+
+// Record is one logged round.
+type Record struct {
+	Kind           string  `json:"kind"` // always "round"
+	Round          int     `json:"round"`
+	Start          float64 `json:"start"`
+	End            float64 `json:"end"`
+	Accuracy       float64 `json:"accuracy"`
+	Collected      int     `json:"collected"`
+	Discarded      int     `json:"discarded"`
+	Dropped        int     `json:"dropped"`
+	MeanIterations float64 `json:"mean_iterations"`
+	MeanEagerSent  float64 `json:"mean_eager_sent,omitempty"`
+	MeanRetrans    float64 `json:"mean_retrans,omitempty"`
+	UploadBytes    float64 `json:"upload_bytes"`
+}
+
+// FromRoundResult converts a round result into a loggable record.
+func FromRoundResult(r fl.RoundResult) Record {
+	rec := Record{
+		Kind:           "round",
+		Round:          r.Round,
+		Start:          r.Start,
+		End:            r.End,
+		Accuracy:       r.Accuracy,
+		Collected:      len(r.Collected),
+		Discarded:      len(r.Discarded),
+		MeanIterations: r.MeanIterations,
+		MeanEagerSent:  r.MeanEagerSent,
+		MeanRetrans:    r.MeanRetrans,
+	}
+	for _, u := range r.Collected {
+		rec.UploadBytes += u.UploadBytes
+	}
+	for _, u := range r.Discarded {
+		rec.UploadBytes += u.UploadBytes
+		if u.Dropped {
+			rec.Dropped++
+		}
+	}
+	return rec
+}
+
+// Writer streams a run to an io.Writer as JSON lines.
+type Writer struct {
+	w      *bufio.Writer
+	closer io.Closer
+}
+
+// NewWriter wraps an io.Writer (no close responsibility).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Create opens a log file for writing (truncates).
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	return &Writer{w: bufio.NewWriter(f), closer: f}, nil
+}
+
+// WriteHeader emits the run header. Call once, first.
+func (w *Writer) WriteHeader(h Header) error {
+	h.Kind = "header"
+	return w.emit(h)
+}
+
+// WriteRound emits one round record.
+func (w *Writer) WriteRound(r fl.RoundResult) error {
+	return w.emit(FromRoundResult(r))
+}
+
+func (w *Writer) emit(v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	if _, err := w.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file (if any).
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// Run is a fully parsed log.
+type Run struct {
+	Header Header
+	Rounds []Record
+}
+
+// Read parses a JSON-lines run log.
+func Read(r io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	run := &Run{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "header":
+			if err := json.Unmarshal(raw, &run.Header); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+		case "round":
+			var rec Record
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+			run.Rounds = append(run.Rounds, rec)
+		default:
+			return nil, fmt.Errorf("runlog: line %d: unknown kind %q", line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	return run, nil
+}
+
+// Open reads a run log from disk.
+func Open(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// AccuracyCurve extracts (end-time, accuracy) pairs, time measured from the
+// first round's start.
+func (r *Run) AccuracyCurve() (times, accs []float64) {
+	if len(r.Rounds) == 0 {
+		return nil, nil
+	}
+	origin := r.Rounds[0].Start
+	for _, rec := range r.Rounds {
+		times = append(times, rec.End-origin)
+		accs = append(accs, rec.Accuracy)
+	}
+	return times, accs
+}

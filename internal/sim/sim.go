@@ -1,0 +1,117 @@
+// Package sim provides the discrete-event core of the FedCA simulator: a
+// virtual clock and an event queue with deterministic tie-breaking.
+//
+// All times are float64 seconds of virtual time. Experiments never consult
+// the wall clock; every duration (compute, transfer, waiting at the
+// aggregation barrier) is accounted in virtual seconds, which makes runs
+// reproducible and lets a laptop "run" a 128-node cluster with shaped links.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	At   float64
+	Prio int // tie-breaker for equal times: lower runs first (e.g. client id)
+	Fn   func(now float64)
+
+	seq   uint64 // insertion order, final tie-breaker
+	index int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	if h[i].Prio != h[j].Prio {
+		return h[i].Prio < h[j].Prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event engine.
+type Engine struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine creates an engine at virtual time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule enqueues fn to run at virtual time at with the given tie-break
+// priority. Scheduling in the past panics: it indicates a simulation bug.
+func (e *Engine) Schedule(at float64, prio int, fn func(now float64)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Prio: prio, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the single earliest event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.At
+	ev.Fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with At <= deadline; later events stay queued.
+// The clock ends at min(deadline, last executed event time).
+func (e *Engine) RunUntil(deadline float64) float64 {
+	for len(e.events) > 0 && e.events[0].At <= deadline {
+		e.Step()
+	}
+	return e.now
+}
+
+// Advance moves the clock forward with no event processing (used between
+// rounds to account for barrier idle time). Moving backwards panics.
+func (e *Engine) Advance(to float64) {
+	if to < e.now {
+		panic(fmt.Sprintf("sim: Advance backwards from %v to %v", e.now, to))
+	}
+	e.now = to
+}

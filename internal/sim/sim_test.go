@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, 0, func(float64) { order = append(order, 3) })
+	e.Schedule(1, 0, func(float64) { order = append(order, 1) })
+	e.Schedule(2, 0, func(float64) { order = append(order, 2) })
+	if final := e.Run(); final != 3 {
+		t.Fatalf("final time = %v, want 3", final)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTieBreakByPriorityThenSeq(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(1, 2, func(float64) { order = append(order, "p2") })
+	e.Schedule(1, 1, func(float64) { order = append(order, "p1-first") })
+	e.Schedule(1, 1, func(float64) { order = append(order, "p1-second") })
+	e.Run()
+	want := []string{"p1-first", "p1-second", "p2"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.Schedule(1, 0, func(now float64) {
+		hits++
+		e.Schedule(now+1, 0, func(float64) { hits++ })
+	})
+	e.Run()
+	if hits != 2 || e.Now() != 2 {
+		t.Fatalf("hits=%d now=%v", hits, e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, 0, func(float64) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(1, 0, func(float64) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.Schedule(1, 0, func(float64) { hits++ })
+	e.Schedule(5, 0, func(float64) { hits++ })
+	e.RunUntil(3)
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(10)
+	if e.Now() != 10 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards advance")
+		}
+	}()
+	e.Advance(5)
+}
+
+func TestManyEventsStableOrder(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		// All at the same time, priority = i: must run in priority order.
+		e.Schedule(1, n-i, func(float64) { got = append(got, i) })
+	}
+	e.Run()
+	for k := 0; k < n; k++ {
+		if got[k] != n-1-k {
+			t.Fatalf("at %d got %d, want %d", k, got[k], n-1-k)
+		}
+	}
+}

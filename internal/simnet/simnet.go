@@ -1,0 +1,83 @@
+// Package simnet models the network of the emulated FL deployment in virtual
+// time: each client has a dedicated shaped link to the server (the paper
+// shapes every client to 13.7 Mbps with wondershaper, following FedScale's
+// average mobile bandwidth; the server's 10 Gbps ingress is never the
+// bottleneck and is not modelled).
+//
+// A Link serializes its transfers FIFO: an eager layer transmission started
+// mid-round occupies the uplink until done, and the end-of-round upload
+// queues behind it — exactly the overlap arithmetic FedCA exploits.
+package simnet
+
+import "fmt"
+
+// DefaultClientBandwidth is 13.7 Mbps in bytes/second (paper Sec. 5.1).
+const DefaultClientBandwidth = 13.7e6 / 8
+
+// Link is a FIFO point-to-point link with fixed bandwidth and per-transfer
+// latency. Transfers must be enqueued in nondecreasing time order (the
+// simulator's per-client timelines guarantee this).
+type Link struct {
+	Bandwidth float64 // bytes per second
+	Latency   float64 // seconds added to every transfer
+
+	free        float64 // time at which the link is next idle
+	lastEnqueue float64
+	bytesSent   float64
+	transfers   int
+}
+
+// NewLink creates a link. Bandwidth must be positive.
+func NewLink(bandwidth, latency float64) *Link {
+	if bandwidth <= 0 {
+		panic("simnet: bandwidth must be positive")
+	}
+	if latency < 0 {
+		panic("simnet: latency must be non-negative")
+	}
+	return &Link{Bandwidth: bandwidth, Latency: latency}
+}
+
+// Transfer enqueues bytes at virtual time enqueue and returns when the
+// transfer starts (link becomes available) and completes.
+func (l *Link) Transfer(enqueue, bytes float64) (start, end float64) {
+	if bytes < 0 {
+		panic("simnet: negative transfer size")
+	}
+	if enqueue < l.lastEnqueue {
+		panic(fmt.Sprintf("simnet: transfer enqueued at %v before previous enqueue %v", enqueue, l.lastEnqueue))
+	}
+	l.lastEnqueue = enqueue
+	start = enqueue
+	if l.free > start {
+		start = l.free
+	}
+	end = start + l.Latency + bytes/l.Bandwidth
+	l.free = end
+	l.bytesSent += bytes
+	l.transfers++
+	return start, end
+}
+
+// ResetAt abandons any in-flight transfer and marks the link idle at time t.
+// The FL round barrier uses this: a straggler whose upload was not collected
+// aborts it and starts the next round fresh. Byte accounting is preserved.
+func (l *Link) ResetAt(t float64) {
+	l.free = t
+	l.lastEnqueue = t
+}
+
+// Duration returns the service time of a transfer of the given size on an
+// idle link (latency + bytes/bandwidth), without enqueueing anything.
+func (l *Link) Duration(bytes float64) float64 {
+	return l.Latency + bytes/l.Bandwidth
+}
+
+// FreeAt returns the time the link next becomes idle.
+func (l *Link) FreeAt() float64 { return l.free }
+
+// BytesSent returns the cumulative payload bytes carried.
+func (l *Link) BytesSent() float64 { return l.bytesSent }
+
+// Transfers returns the number of transfers carried.
+func (l *Link) Transfers() int { return l.transfers }

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// (m*n*k) below which MatMul stays single-threaded. Spawning goroutines for
+// tiny products costs more than it saves.
+const parallelThreshold = 1 << 17
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing into
+// dst (m×n). dst must not alias A or B. Rows of C are computed in parallel
+// across GOMAXPROCS workers for large products; results are identical at any
+// worker count because each row is written by exactly one worker.
+func MatMul(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(dst, a, b, false, false)
+	gemmNN(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), dst is (m×n).
+func MatMulTransA(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(dst, a, b, true, false)
+	gemmTN(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), dst is (m×n).
+func MatMulTransB(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(dst, a, b, false, true)
+	gemmNT(dst.data, a.data, b.data, m, k, n)
+}
+
+func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	am, ak := a.shape[0], a.shape[1]
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := b.shape[0], b.shape[1]
+	if transB {
+		bk, bn = bn, bk
+	}
+	if ak != bk {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %d vs %d", ak, bk))
+	}
+	if dst.shape[0] != am || dst.shape[1] != bn {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.shape, am, bn))
+	}
+	return am, ak, bn
+}
+
+// parallelRows runs fn(lo, hi) over row blocks [0,m) using up to
+// GOMAXPROCS workers when work (total MACs) exceeds the threshold.
+func parallelRows(m int, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || m <= 1 {
+		fn(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmNN: C[m×n] = A[m×k] · B[k×n]. Inner loops are ordered i-k-j so the
+// innermost loop streams both B's row and C's row, which the compiler
+// vectorizes well and which is cache-friendly for row-major storage.
+func gemmNN(c, a, b []float64, m, k, n int) {
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := a[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmTN: C[m×n] = Aᵀ · B with A stored as [k×m], B as [k×n].
+func gemmTN(c, a, b []float64, m, k, n int) {
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// gemmNT: C[m×n] = A · Bᵀ with A stored as [m×k], B as [n×k]. Each output
+// element is a dot product of two contiguous rows.
+func gemmNT(c, a, b []float64, m, k, n int) {
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				s := 0.0
+				for p := range ai {
+					s += ai[p] * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+}

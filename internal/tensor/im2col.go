@@ -1,0 +1,110 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution with square stride and
+// symmetric zero padding, shared by Im2Col, Col2Im and the Conv2D layer.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride, Pad   int
+	OutH, OutW    int // derived output spatial size
+}
+
+// NewConvGeom computes output dimensions and validates the geometry.
+func NewConvGeom(inC, inH, inW, kh, kw, stride, pad int) ConvGeom {
+	if stride <= 0 {
+		panic("tensor: conv stride must be positive")
+	}
+	outH := (inH+2*pad-kh)/stride + 1
+	outW := (inW+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry yields non-positive output %dx%d", outH, outW))
+	}
+	return ConvGeom{InC: inC, InH: inH, InW: inW, KH: kh, KW: kw, Stride: stride, Pad: pad, OutH: outH, OutW: outW}
+}
+
+// ColRows returns the number of rows of the im2col matrix (output positions).
+func (g ConvGeom) ColRows() int { return g.OutH * g.OutW }
+
+// ColCols returns the number of columns of the im2col matrix (patch size).
+func (g ConvGeom) ColCols() int { return g.InC * g.KH * g.KW }
+
+// Im2Col expands one image (flat, C·H·W) into the patch matrix col
+// (OutH·OutW rows × InC·KH·KW cols), so convolution becomes a GEMM:
+// output[outPos × outC] = col · Wᵀ. Out-of-bounds (padding) elements are 0.
+func (g ConvGeom) Im2Col(img, col []float64) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic("tensor: Im2Col image size mismatch")
+	}
+	if len(col) != g.ColRows()*g.ColCols() {
+		panic("tensor: Im2Col col size mismatch")
+	}
+	cols := g.ColCols()
+	for oy := 0; oy < g.OutH; oy++ {
+		for ox := 0; ox < g.OutW; ox++ {
+			rowBase := (oy*g.OutW + ox) * cols
+			idx := rowBase
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.KW; kx++ {
+							col[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowOff := chanBase + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix < 0 || ix >= g.InW {
+							col[idx] = 0
+						} else {
+							col[idx] = img[rowOff+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatter-adds the patch matrix gradient back into the image gradient
+// (the adjoint of Im2Col). dimg must be zeroed by the caller if accumulation
+// from a clean slate is desired.
+func (g ConvGeom) Col2Im(col, dimg []float64) {
+	if len(dimg) != g.InC*g.InH*g.InW {
+		panic("tensor: Col2Im image size mismatch")
+	}
+	if len(col) != g.ColRows()*g.ColCols() {
+		panic("tensor: Col2Im col size mismatch")
+	}
+	cols := g.ColCols()
+	for oy := 0; oy < g.OutH; oy++ {
+		for ox := 0; ox < g.OutW; ox++ {
+			rowBase := (oy*g.OutW + ox) * cols
+			idx := rowBase
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						idx += g.KW
+						continue
+					}
+					rowOff := chanBase + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix >= 0 && ix < g.InW {
+							dimg[rowOff+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package tensor implements dense float64 tensors and the linear-algebra
+// kernels (parallel GEMM, im2col) that back the neural-network layers used in
+// the FedCA reproduction.
+//
+// Tensors are always contiguous in row-major order. Reshape returns a view
+// sharing the underlying storage; Clone copies. The package is deliberately
+// small: only the operations the training stack needs, each with a clear
+// contract and panics on shape mismatch (shape errors are programming errors,
+// not runtime conditions).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, contiguous, row-major float64 tensor.
+type Tensor struct {
+	data  []float64
+	shape []int
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{data: make([]float64, n), shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The tensor takes
+// ownership of data (no copy). It panics if len(data) does not match shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d)", len(data), shape, n))
+	}
+	return &Tensor{data: data, shape: append([]int(nil), shape...)}
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's shape. The returned slice must not be modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutations are visible to all views.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Reshape returns a view of t with a new shape of equal total size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{data: t.data, shape: append([]int(nil), shape...)}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.data))
+	copy(d, t.data)
+	return &Tensor{data: d, shape: append([]int(nil), t.shape...)}
+}
+
+// CopyFrom copies src's elements into t. Shapes must have equal total size.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.data, src.data)
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameSize(a, b *Tensor, op string) {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: %s size mismatch: %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// AddInto sets t = a + b elementwise (sizes must match).
+func (t *Tensor) AddInto(a, b *Tensor) {
+	assertSameSize(a, b, "Add")
+	assertSameSize(t, a, "Add")
+	for i := range t.data {
+		t.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Add adds o to t in place.
+func (t *Tensor) Add(o *Tensor) {
+	assertSameSize(t, o, "Add")
+	for i := range t.data {
+		t.data[i] += o.data[i]
+	}
+}
+
+// Sub subtracts o from t in place.
+func (t *Tensor) Sub(o *Tensor) {
+	assertSameSize(t, o, "Sub")
+	for i := range t.data {
+		t.data[i] -= o.data[i]
+	}
+}
+
+// SubInto sets t = a − b elementwise.
+func (t *Tensor) SubInto(a, b *Tensor) {
+	assertSameSize(a, b, "Sub")
+	assertSameSize(t, a, "Sub")
+	for i := range t.data {
+		t.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// MulElem multiplies t by o elementwise in place.
+func (t *Tensor) MulElem(o *Tensor) {
+	assertSameSize(t, o, "MulElem")
+	for i := range t.data {
+		t.data[i] *= o.data[i]
+	}
+}
+
+// Scale multiplies every element of t by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AXPY performs t += alpha * x.
+func (t *Tensor) AXPY(alpha float64, x *Tensor) {
+	assertSameSize(t, x, "AXPY")
+	for i := range t.data {
+		t.data[i] += alpha * x.data[i]
+	}
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	assertSameSize(a, b, "Dot")
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of t viewed as a flat vector.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty data).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMaxRow returns, for a 2-D tensor, the index of the maximum element in
+// row r. Ties resolve to the lowest index.
+func (t *Tensor) ArgMaxRow(r int) int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := t.shape[1]
+	row := t.data[r*cols : (r+1)*cols]
+	best, bestV := 0, row[0]
+	for j := 1; j < cols; j++ {
+		if row[j] > bestV {
+			best, bestV = j, row[j]
+		}
+	}
+	return best
+}
+
+// CosineSimilarity returns the cosine similarity of a and b viewed as flat
+// vectors. If either vector has zero norm the result is 0 unless both are
+// zero, in which case it is 1 (two zero updates are identical).
+func CosineSimilarity(a, b *Tensor) float64 {
+	assertSameSize(a, b, "CosineSimilarity")
+	return CosineSimilaritySlices(a.data, b.data)
+}
+
+// CosineSimilaritySlices is CosineSimilarity over raw slices.
+func CosineSimilaritySlices(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: CosineSimilaritySlices length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// String renders a compact description, useful in test failures.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}

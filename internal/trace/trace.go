@@ -1,0 +1,177 @@
+// Package trace models per-client compute-speed behaviour: static
+// heterogeneity across clients (FedScale-like spread of average speeds) plus
+// the paper's intra-round dynamicity model, in which every client toggles
+// between a fast mode and a slow mode whose durations are gamma distributed
+// (Γ(2,40) fast, Γ(2,6) slow, in seconds) and whose slowdown ratio is drawn
+// uniformly from U(1,5) per slow period (Sec. 5.1 of the paper).
+//
+// The paper's testbed realizes a target speed by injecting a sleep after each
+// local iteration sized by the current mode; we reproduce exactly that
+// semantics: the duration of an iteration starting at virtual time t is
+// base · static · dynamicFactor(t).
+package trace
+
+import (
+	"math"
+
+	"fedca/internal/rng"
+)
+
+// Config parameterizes the fleet's speed behaviour.
+type Config struct {
+	// HeterogeneitySigma is the stddev of the log of the static speed
+	// factor; 0 means a homogeneous fleet. FedScale-like spread ≈ 0.6.
+	HeterogeneitySigma float64
+	// StaticClampLo/Hi bound the static factor (protects against extreme
+	// lognormal draws). Zero values default to [0.5, 8].
+	StaticClampLo, StaticClampHi float64
+
+	// Dynamic enables fast/slow mode toggling.
+	Dynamic bool
+	// Gamma parameters of the fast- and slow-period durations (seconds).
+	FastShape, FastScale float64 // paper: Γ(2, 40)
+	SlowShape, SlowScale float64 // paper: Γ(2, 6)
+	// Slowdown ratio drawn per slow period from U(lo, hi). paper: U(1, 5).
+	SlowdownLo, SlowdownHi float64
+}
+
+// PaperConfig returns the dynamicity setup of the paper's evaluation.
+func PaperConfig() Config {
+	return Config{
+		HeterogeneitySigma: 0.6,
+		Dynamic:            true,
+		FastShape:          2, FastScale: 40,
+		SlowShape: 2, SlowScale: 6,
+		SlowdownLo: 1, SlowdownHi: 5,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.StaticClampLo == 0 {
+		c.StaticClampLo = 0.5
+	}
+	if c.StaticClampHi == 0 {
+		c.StaticClampHi = 8
+	}
+}
+
+// segment is one constant-factor stretch of a client's dynamic timeline.
+type segment struct {
+	start, end float64
+	factor     float64 // ≥ 1; 1 in fast mode
+}
+
+// SpeedModel is one client's speed timeline. Static is the client's
+// heterogeneity multiplier (1 = nominal hardware; larger = slower client).
+// The dynamic timeline is generated lazily and deterministically from the
+// client's own RNG, so two runs observe the identical trace.
+type SpeedModel struct {
+	Static float64
+	cfg    Config
+	segs   []segment
+	r      *rng.RNG
+}
+
+// NewSpeedModel builds a single client's model. r drives only this client's
+// dynamic trace (fork it per client).
+func NewSpeedModel(static float64, cfg Config, r *rng.RNG) *SpeedModel {
+	cfg.applyDefaults()
+	if static <= 0 {
+		panic("trace: static factor must be positive")
+	}
+	return &SpeedModel{Static: static, cfg: cfg, r: r}
+}
+
+// extendTo generates timeline segments until they cover time t.
+func (m *SpeedModel) extendTo(t float64) {
+	for len(m.segs) == 0 || m.segs[len(m.segs)-1].end <= t {
+		var start float64
+		fast := true // timelines start in fast mode
+		if n := len(m.segs); n > 0 {
+			start = m.segs[n-1].end
+			fast = m.segs[n-1].factor != 1
+		}
+		var dur, factor float64
+		if fast {
+			dur = m.r.Gamma(m.cfg.FastShape, m.cfg.FastScale)
+			factor = 1
+		} else {
+			dur = m.r.Gamma(m.cfg.SlowShape, m.cfg.SlowScale)
+			factor = m.r.Uniform(m.cfg.SlowdownLo, m.cfg.SlowdownHi)
+		}
+		if dur <= 0 {
+			dur = 1e-9
+		}
+		m.segs = append(m.segs, segment{start: start, end: start + dur, factor: factor})
+	}
+}
+
+// DynamicFactorAt returns the dynamic slowdown in effect at time t (1 when
+// dynamicity is disabled).
+func (m *SpeedModel) DynamicFactorAt(t float64) float64 {
+	if !m.cfg.Dynamic {
+		return 1
+	}
+	if t < 0 {
+		t = 0
+	}
+	m.extendTo(t)
+	// Binary search the covering segment.
+	lo, hi := 0, len(m.segs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.segs[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return m.segs[lo].factor
+}
+
+// IterDuration returns the wall time of one local iteration with nominal
+// cost base seconds, starting at time t — the paper's sleep-injection
+// semantics (the mode at iteration start governs the whole iteration).
+func (m *SpeedModel) IterDuration(base, t float64) float64 {
+	return base * m.Static * m.DynamicFactorAt(t)
+}
+
+// ExpectedFactor returns the long-run mean total slowdown (static × expected
+// dynamic factor), useful for capacity estimates and tests.
+func (m *SpeedModel) ExpectedFactor() float64 {
+	if !m.cfg.Dynamic {
+		return m.Static
+	}
+	fastMean := m.cfg.FastShape * m.cfg.FastScale
+	slowMean := m.cfg.SlowShape * m.cfg.SlowScale
+	slowFrac := slowMean / (fastMean + slowMean)
+	meanSlowdown := (m.cfg.SlowdownLo + m.cfg.SlowdownHi) / 2
+	return m.Static * ((1-slowFrac)*1 + slowFrac*meanSlowdown)
+}
+
+// NewFleet builds n speed models: static factors are lognormal with the
+// configured sigma (clamped), dynamic traces are forked per client from r.
+func NewFleet(n int, cfg Config, r *rng.RNG) []*SpeedModel {
+	cfg.applyDefaults()
+	fleet := make([]*SpeedModel, n)
+	for i := 0; i < n; i++ {
+		cr := r.Fork("client-speed", i)
+		static := 1.0
+		if cfg.HeterogeneitySigma > 0 {
+			static = clampExpNormal(cr, cfg.HeterogeneitySigma, cfg.StaticClampLo, cfg.StaticClampHi)
+		}
+		fleet[i] = NewSpeedModel(static, cfg, cr.Fork("dyn"))
+	}
+	return fleet
+}
+
+func clampExpNormal(r *rng.RNG, sigma, lo, hi float64) float64 {
+	v := math.Exp(r.Normal(0, sigma))
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
