@@ -248,6 +248,11 @@ func (f *Federation) Rounds() []Round {
 
 // FedCAStats exposes FedCA's behavioural counters (early stops, eager
 // transmissions, retransmissions); ok is false for non-FedCA schemes.
+//
+// It is safe to call from another goroutine while RunRound executes — e.g. a
+// monitoring loop charting Fig. 8-style behaviour live — because the scheme
+// snapshots its counters under a lock. The rest of Federation's methods
+// follow the usual rule: one goroutine drives rounds, no concurrent RunRound.
 func (f *Federation) FedCAStats() (stats core.SchemeStats, ok bool) {
 	if f.fedca == nil {
 		return core.SchemeStats{}, false

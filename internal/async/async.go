@@ -15,6 +15,7 @@ package async
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fedca/internal/data"
 	"fedca/internal/fl"
@@ -49,6 +50,10 @@ type Stats struct {
 }
 
 // Runner drives one asynchronous training run.
+//
+// Run executes the event loop on the calling goroutine; the read accessors
+// Stats, Evals and Version may be polled from other goroutines while it
+// runs (the same contract fl schemes give their stats snapshots).
 type Runner struct {
 	cfg    Config
 	fl     fl.Config
@@ -57,10 +62,14 @@ type Runner struct {
 	clients []*fl.Client
 	net     *nn.Network // single worker: events are processed sequentially
 	global  []float64
-	version int
 	test    *data.Dataset
 
-	buffer   []pendingUpdate
+	buffer []pendingUpdate
+
+	// mu guards the fields below, which concurrent pollers may read while
+	// the event loop mutates them.
+	mu       sync.Mutex
+	version  int
 	evals    []Eval
 	stats    Stats
 	staleSum int
@@ -109,14 +118,20 @@ func (r *Runner) Run(horizon float64) []Eval {
 		r.schedulePull(c, 0)
 	}
 	r.engine.RunUntil(horizon)
-	return r.evals
+	return r.Evals()
 }
 
-// Evals returns the accuracy measurements so far.
-func (r *Runner) Evals() []Eval { return r.evals }
+// Evals returns a copy of the accuracy measurements so far.
+func (r *Runner) Evals() []Eval {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Eval(nil), r.evals...)
+}
 
 // Stats returns behavioural counters.
 func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.stats
 	if s.UpdatesReceived > 0 {
 		s.MeanStaleness = float64(r.staleSum) / float64(s.UpdatesReceived)
@@ -125,7 +140,11 @@ func (r *Runner) Stats() Stats {
 }
 
 // Version returns the number of committed aggregations.
-func (r *Runner) Version() int { return r.version }
+func (r *Runner) Version() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
 
 // schedulePull enqueues a client's next pull → train → upload cycle.
 func (r *Runner) schedulePull(c *fl.Client, at float64) {
@@ -176,12 +195,17 @@ func (r *Runner) runClientCycle(c *fl.Client, now float64) {
 
 // receive buffers an arriving update and commits when the buffer fills.
 func (r *Runner) receive(c *fl.Client, delta []float64, pulledVersion int, now float64) {
+	// r.version is only ever written on this (the event-loop) goroutine, so
+	// reading it here without the lock is safe; the counter updates must
+	// still be locked against pollers.
 	staleness := r.version - pulledVersion
+	r.mu.Lock()
 	r.stats.UpdatesReceived++
 	r.staleSum += staleness
 	if staleness > r.stats.MaxStaleness {
 		r.stats.MaxStaleness = staleness
 	}
+	r.mu.Unlock()
 	r.buffer = append(r.buffer, pendingUpdate{delta: delta, weight: c.Weight, staleness: staleness})
 	if len(r.buffer) < r.cfg.BufferSize {
 		return
@@ -205,12 +229,19 @@ func (r *Runner) commit(now float64) {
 		}
 	}
 	r.buffer = r.buffer[:0]
+	r.mu.Lock()
 	r.version++
 	r.stats.Commits++
-	if r.test != nil && r.version%r.cfg.EvalEvery == 0 {
+	version := r.version
+	r.mu.Unlock()
+	if r.test != nil && version%r.cfg.EvalEvery == 0 {
+		// Evaluation is the expensive part; run it outside the lock so
+		// pollers are never blocked behind a forward pass.
 		r.net.SetFlatParams(r.global)
 		acc := fl.Evaluate(r.net, r.test, r.fl.EvalBatch)
-		r.evals = append(r.evals, Eval{Time: now, Version: r.version, Accuracy: acc})
+		r.mu.Lock()
+		r.evals = append(r.evals, Eval{Time: now, Version: version, Accuracy: acc})
+		r.mu.Unlock()
 	}
 }
 

@@ -108,6 +108,17 @@ func (p *Profiler) BeginAnchor(round int) {
 	p.recSamples = p.recSamples[:0]
 }
 
+// AbortAnchor discards a partial anchor recording — the client dropped out
+// mid-round, so the curve would be built from a truncated iteration range —
+// and disarms recording. The previous anchor's curves are kept deliberately:
+// a stale curve still guides the following rounds better than none, and the
+// next anchor round re-arms cleanly via BeginAnchor. Safe to call when not
+// recording (no-op).
+func (p *Profiler) AbortAnchor() {
+	p.recording = false
+	p.recSamples = nil
+}
+
 // Recording reports whether an anchor round is being recorded.
 func (p *Profiler) Recording() bool { return p.recording }
 

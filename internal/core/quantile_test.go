@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedca/internal/rng"
+)
+
+// TestQuantileDeadlineRank pins the ceil-based quantile rank: the q-quantile
+// is the smallest estimate with at least a q-fraction of the sample at or
+// below it. The old truncating rank int(q·n)−1 was biased low whenever q·n
+// was fractional (q=0.5 over 5 estimates picked the 2nd, not the median).
+func TestQuantileDeadlineRank(t *testing.T) {
+	mk := func(times ...float64) map[int]float64 {
+		m := make(map[int]float64, len(times))
+		for i, v := range times {
+			m[i] = v
+		}
+		return m
+	}
+	odd5 := []float64{10, 20, 30, 40, 50}
+	even4 := []float64{10, 20, 30, 40}
+	odd3 := []float64{1, 2, 3}
+	cases := []struct {
+		name  string
+		times []float64
+		q     float64
+		want  float64
+	}{
+		{"odd5/q0.1", odd5, 0.1, 10},
+		{"odd5/q0.5-median", odd5, 0.5, 30}, // regression: was 20
+		{"odd5/q0.9", odd5, 0.9, 50},
+		{"odd5/q1.0", odd5, 1.0, 50},
+		{"even4/q0.1", even4, 0.1, 10},
+		{"even4/q0.5", even4, 0.5, 20},
+		{"even4/q0.9", even4, 0.9, 40},
+		{"even4/q1.0", even4, 1.0, 40},
+		{"odd3/q0.5-median", odd3, 0.5, 2}, // regression: was 1
+		{"odd3/q0.9", odd3, 0.9, 3},
+		{"single/q0.1", []float64{7}, 0.1, 7},
+		{"single/q1.0", []float64{7}, 1.0, 7},
+	}
+	for _, c := range cases {
+		if got := quantileDeadline(mk(c.times...), c.q); got != c.want {
+			t.Errorf("%s: quantileDeadline = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := quantileDeadline(nil, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("empty estimates: deadline = %v, want +Inf", got)
+	}
+}
+
+// TestAbortAnchorResetsRecording: aborting a half-recorded anchor disarms
+// recording, drops the partial samples, and deliberately keeps the previous
+// anchor's curves; the next BeginAnchor/Record/FinishAnchor cycle works.
+func TestAbortAnchorResetsRecording(t *testing.T) {
+	p := NewProfiler(100, 0.5, rng.New(41))
+	rgs := ranges3()
+	delta := make([]float64, 1010)
+
+	// Complete one anchor so curves exist.
+	p.BeginAnchor(0)
+	for i := range delta {
+		delta[i] = 0.5
+	}
+	p.Record(rgs, delta)
+	for i := range delta {
+		delta[i] = 1.0
+	}
+	p.Record(rgs, delta)
+	first := p.FinishAnchor()
+
+	// A second anchor is interrupted mid-recording: abort.
+	p.BeginAnchor(10)
+	p.Record(rgs, delta)
+	if !p.Recording() {
+		t.Fatal("profiler must be recording inside an anchor")
+	}
+	p.AbortAnchor()
+	if p.Recording() {
+		t.Fatal("AbortAnchor must disarm recording")
+	}
+	if p.Curves() != first {
+		t.Fatal("AbortAnchor must keep the previous anchor's curves")
+	}
+
+	// The next anchor re-arms and completes cleanly.
+	p.BeginAnchor(20)
+	p.Record(rgs, delta)
+	second := p.FinishAnchor()
+	if second == nil || second.Round != 20 || p.Curves() != second {
+		t.Fatalf("post-abort anchor broken: %+v", second)
+	}
+
+	// Aborting while not recording is a no-op.
+	p.AbortAnchor()
+	if p.Curves() != second {
+		t.Fatal("idle AbortAnchor must not touch curves")
+	}
+}

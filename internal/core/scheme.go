@@ -83,11 +83,18 @@ func V2Options(k int) Options {
 type Scheme struct {
 	Opt Options
 
-	r         *rng.RNG
+	r *rng.RNG
+
+	// profilers is written by NewController (serial per the fl.Scheme
+	// contract) but may be read through Profiler by other goroutines —
+	// overhead tooling, monitors — while a round runs, hence the mutex.
+	profMu    sync.Mutex
 	profilers map[int]*Profiler
 
 	// stats observed by controllers, for behavioural analyses (Fig. 8).
-	// Controllers run concurrently, hence the mutex.
+	// Controllers run concurrently with each other AND with callers polling
+	// Stats mid-round, so every stats access — including the serial
+	// NewController's AnchorRounds bump — must hold the mutex.
 	statsMu sync.Mutex
 	stats   SchemeStats
 }
@@ -101,6 +108,8 @@ type SchemeStats struct {
 	AnchorRounds     int   // client-rounds spent profiling
 	EagerSentTotal   int
 	RetransmitsTotal int
+	DroppedRounds    int // client-rounds lost to mid-round dropout
+	AnchorAborts     int // anchor recordings abandoned because the client dropped
 }
 
 // NewScheme builds a FedCA scheme. r seeds the per-client sampling choices.
@@ -131,7 +140,8 @@ func (s *Scheme) Name() string {
 	}
 }
 
-// Stats returns a snapshot of the accumulated behavioural statistics.
+// Stats returns a snapshot of the accumulated behavioural statistics. It is
+// safe to call from any goroutine, including while a round is executing.
 func (s *Scheme) Stats() SchemeStats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
@@ -143,7 +153,12 @@ func (s *Scheme) Stats() SchemeStats {
 }
 
 // Profiler returns (creating if needed) the persistent profiler of a client.
+// Map access is locked so concurrent readers cannot corrupt it; the returned
+// Profiler itself is only ever driven by one worker at a time (the fl
+// contract serializes one client's hooks).
 func (s *Scheme) Profiler(clientID int) *Profiler {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
 	p, ok := s.profilers[clientID]
 	if !ok {
 		p = NewProfiler(s.Opt.SampleCap, s.Opt.SampleFrac, s.r.Fork("profiler", clientID))
@@ -183,7 +198,11 @@ func quantileDeadline(est map[int]float64, q float64) float64 {
 		times = append(times, t)
 	}
 	sort.Float64s(times)
-	i := int(q*float64(len(times))) - 1
+	// Ceil-based rank: the q-quantile is the smallest element with at least
+	// a q-fraction of the sample at or below it (q=0.5 over 5 estimates →
+	// the 3rd, the true median). The truncating rank int(q·n)−1 it replaces
+	// was biased low on any n where q·n is fractional.
+	i := int(math.Ceil(q*float64(len(times)))) - 1
 	if i < 0 {
 		i = 0
 	}
@@ -196,14 +215,18 @@ func quantileDeadline(est map[int]float64, q float64) float64 {
 func inf() float64 { return math.Inf(1) }
 
 // NewController builds the per-client round controller. Called serially by
-// the runner, so profiler map access needs no locking; the returned
-// controllers then run in parallel but each touches only its own profiler.
+// the runner; the returned controllers then run in parallel but each drives
+// only its own profiler. The AnchorRounds bump still takes statsMu: Stats
+// may be polled from another goroutine while the round (and this serial
+// construction phase) executes.
 func (s *Scheme) NewController(c *fl.Client, round int, plan fl.RoundPlan) fl.Controller {
 	p := s.Profiler(c.ID)
 	anchor := s.IsAnchorRound(round)
 	if anchor {
 		p.BeginAnchor(round)
+		s.statsMu.Lock()
 		s.stats.AnchorRounds++
+		s.statsMu.Unlock()
 	}
 	return &controller{s: s, prof: p, anchor: anchor, deadline: plan.Deadline}
 }
@@ -277,6 +300,22 @@ func (c *controller) AfterIteration(st fl.IterState) fl.IterAction {
 		}
 	}
 	return action
+}
+
+// OnDropout (fl.DropoutObserver) closes the round for a client that vanished
+// mid-round: a half-recorded anchor is aborted so the profiler is not left
+// armed with partial samples — the previous anchor's curves deliberately
+// stay in force until the next completed anchor re-profiles.
+func (c *controller) OnDropout(iter int) {
+	if c.anchor {
+		c.prof.AbortAnchor()
+	}
+	c.s.statsMu.Lock()
+	defer c.s.statsMu.Unlock()
+	c.s.stats.DroppedRounds++
+	if c.anchor {
+		c.s.stats.AnchorAborts++
+	}
 }
 
 // Finalize turns anchor recordings into curves, or applies the Eq. 6

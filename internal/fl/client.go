@@ -3,9 +3,67 @@ package fl
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fedca/internal/nn"
 )
+
+// deltaPool recycles the NumParams-sized vectors handed to the server as
+// Update.Delta. The runner returns them after the default aggregation drops
+// them (see RunRound), so steady-state rounds allocate no fresh update
+// vectors. Recycled slices carry stale data; every taker must overwrite all
+// elements before reading any.
+type deltaPool struct{ p sync.Pool }
+
+func (dp *deltaPool) get(n int) []float64 {
+	if dp != nil {
+		if v := dp.p.Get(); v != nil {
+			if s := v.([]float64); len(s) == n {
+				return s
+			}
+		}
+	}
+	return make([]float64, n)
+}
+
+func (dp *deltaPool) put(s []float64) {
+	if dp != nil && s != nil {
+		dp.p.Put(s)
+	}
+}
+
+// RoundBuffers is the per-worker scratch a runner threads through
+// RunClientRound so the two NumParams-sized slices of every client round —
+// the in-progress delta and the server-bound update — stop being fresh
+// allocations. Each worker goroutine owns exactly one RoundBuffers, so the
+// scratch delta is never shared; the update vectors come from a pool shared
+// across workers and flow back via the runner.
+type RoundBuffers struct {
+	delta []float64
+	pool  *deltaPool
+}
+
+// scratch returns the worker's reusable delta buffer, sized to n. Contents
+// are unspecified: RunClientRound overwrites every element after the first
+// completed iteration before any hook reads it.
+func (b *RoundBuffers) scratch(n int) []float64 {
+	if b == nil {
+		return make([]float64, n)
+	}
+	if cap(b.delta) < n {
+		b.delta = make([]float64, n)
+	}
+	return b.delta[:n]
+}
+
+// outDelta returns an n-sized vector destined for Update.Delta, recycled
+// from the runner's pool when possible.
+func (b *RoundBuffers) outDelta(n int) []float64 {
+	if b == nil {
+		return make([]float64, n)
+	}
+	return b.pool.get(n)
+}
 
 // RunClientRound simulates one client's round: model download, local SGD with
 // scheme hooks, eager per-layer transmissions, and the end-of-round upload.
@@ -13,7 +71,16 @@ import (
 //
 // net is a worker-local network (parameters are overwritten with globalFlat);
 // it must have the same architecture the globalFlat vector came from.
+//
+// It runs on a worker goroutine during Runner.RunRound and invokes every
+// Controller hook inline; see the package comment for the full concurrency
+// contract. This exported variant allocates its own buffers; the runner's
+// workers pass reusable ones through runClientRound.
 func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, roundStart float64) Update {
+	return runClientRound(c, net, globalFlat, cfg, plan, ctrl, roundStart, nil)
+}
+
+func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, roundStart float64, bufs *RoundBuffers) Update {
 	ranges := net.ParamRanges()
 	if len(globalFlat) != net.NumParams() {
 		panic(fmt.Sprintf("fl: global vector size %d != model params %d", len(globalFlat), net.NumParams()))
@@ -63,7 +130,7 @@ func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		approx, b4 := cfg.Compressor.Compress(vec)
 		return approx, b4 * bytesPerScalar / 4
 	}
-	delta := make([]float64, len(globalFlat))
+	delta := bufs.scratch(len(globalFlat))
 	var eager []EagerRecord
 	eagerSent := make(map[int]bool) // layer index → already transmitted
 
@@ -86,7 +153,12 @@ func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		iters = iter
 
 		if iter == dropAt {
-			// The device vanished: no further hooks, no upload.
+			// The device vanished: no upload, and Finalize is never called.
+			// Schemes that armed per-client state this round observe the
+			// dropout so they can reset it (e.g. FedCA's anchor recording).
+			if d, ok := ctrl.(DropoutObserver); ok {
+				d.OnDropout(iters)
+			}
 			return Update{
 				ClientID:       c.ID,
 				Weight:         c.Weight,
@@ -155,7 +227,7 @@ func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	// The update the server will see: final values everywhere (compressed if
 	// a compressor is configured), except layers whose eager snapshot stands
 	// (sent eagerly and not retransmitted).
-	serverDelta := make([]float64, len(delta))
+	serverDelta := bufs.outDelta(len(delta))
 	copy(serverDelta, delta)
 	stale := make(map[int]bool) // layer index → eager snapshot stands
 	for ei, rec := range eager {

@@ -8,6 +8,27 @@
 // interface: they may plan per-client iteration budgets and a round deadline
 // on the server, modify gradients locally, stop local training early, and
 // transmit per-layer updates eagerly before round completion.
+//
+// # Concurrency model
+//
+// Each round has three phases with an explicit threading contract:
+//
+//   - Server phase (serial): PlanRound, SelectClients, NewController,
+//     Aggregate and History updates all run on the single round-driving
+//     goroutine, strictly before or after the client phase.
+//   - Client phase (parallel): RunClientRound executes on worker goroutines,
+//     one client at a time per worker. All Controller methods — ModifyGrad,
+//     AfterIteration, Finalize, OnDropout — run on the worker, concurrently
+//     with other clients' controllers.
+//   - Reduce phase (parallel, deterministic): the default weighted-FedAvg
+//     reduce shards the parameter vector across workers; each element's
+//     floating-point operation order matches the serial loop, so the result
+//     is bit-identical regardless of worker count.
+//
+// Consequences: controller-local state needs no locking (one controller's
+// hooks are sequential), but any state shared across controllers or exposed
+// through scheme-level accessors that callers may poll while a round runs
+// (e.g. behavioural stats) must be synchronized by the scheme.
 package fl
 
 import (
@@ -126,7 +147,9 @@ type IterState struct {
 	Budget  int     // iteration cap for this client this round
 	Elapsed float64 // local-training wall time so far (virtual seconds)
 	// Delta is the accumulated update so far (w_now − w_global), flat.
-	// Read-only; valid only during the call.
+	// Read-only; valid only during the call: it aliases a per-worker buffer
+	// the runner reuses across clients and rounds, so controllers must copy
+	// any portion they want to keep.
 	Delta  []float64
 	Ranges []nn.ParamRange
 }
@@ -155,9 +178,11 @@ type EagerRecord struct {
 // FinalState is what a controller observes when local training has ended.
 type FinalState struct {
 	Iterations int
-	Delta      []float64 // final accumulated update
-	Ranges     []nn.ParamRange
-	Eager      []EagerRecord
+	// Delta is the final accumulated update. Like IterState.Delta it is
+	// read-only and valid only during the call (worker-reused buffer).
+	Delta  []float64
+	Ranges []nn.ParamRange
+	Eager  []EagerRecord
 }
 
 // FinalAction selects which eagerly-sent layers must be retransmitted with
@@ -167,6 +192,12 @@ type FinalAction struct {
 }
 
 // Controller is the per-client, per-round decision maker of a scheme.
+//
+// Every method runs on a worker goroutine, concurrently with the controllers
+// of other clients. Calls on one controller are sequential — ModifyGrad and
+// AfterIteration alternate per iteration, then exactly one of Finalize or
+// OnDropout (DropoutObserver) closes the round — so controller-local state
+// needs no locking; state shared across controllers does.
 type Controller interface {
 	// ModifyGrad may adjust parameter gradients before the optimizer step
 	// (e.g. FedProx's proximal term). globalFlat is the round's starting
@@ -180,6 +211,12 @@ type Controller interface {
 }
 
 // Scheme plugs a federated optimization strategy into the runner.
+//
+// PlanRound and NewController run serially on the round-driving goroutine
+// (as do the optional Selector and Aggregator hooks); the controllers they
+// build then run on workers. A scheme must synchronize any state shared
+// between NewController and running controllers, and any accessors (stats
+// snapshots) it allows callers to poll while a round executes.
 type Scheme interface {
 	Name() string
 	// PlanRound runs on the server before dispatch.
@@ -220,6 +257,16 @@ type Selector interface {
 // discarded updates carry Delta only when not dropped.
 type Aggregator interface {
 	Aggregate(round int, flat []float64, collected, discarded []Update) []float64
+}
+
+// DropoutObserver is an optional Controller extension. The runner invokes
+// OnDropout — on the worker goroutine, in place of Finalize, which is never
+// called for a dropped client — when the client vanishes mid-round after
+// iter completed iterations. Schemes use it to reset per-client state armed
+// earlier in the round (e.g. FedCA aborting a half-recorded anchor profile
+// that would otherwise stay armed with partial samples).
+type DropoutObserver interface {
+	OnDropout(iter int)
 }
 
 // NopController implements Controller with no behaviour — plain FedAvg.

@@ -3,13 +3,20 @@ package fl
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // History is the server's knowledge about client behaviour, learned from the
 // updates it actually received (the server never sees intra-round state —
 // that is the whole point of the paper). Per-iteration wall times feed the
 // FedBalancer-style deadline and FedAda's workload planning.
+//
+// History is safe for concurrent use. The synchronous round loop writes it
+// serially, but overlapping callers — asynchronous runners folding arrivals
+// while a planner reads, or monitors polling estimates mid-round — may mix
+// Observe with the read accessors freely.
 type History struct {
+	mu sync.RWMutex
 	// ewma of per-iteration local compute seconds, keyed by client id.
 	iterTime map[int]float64
 	// alpha is the EWMA smoothing weight of the newest observation.
@@ -27,6 +34,8 @@ func (h *History) Observe(u Update) {
 		return
 	}
 	t := u.TrainTime / float64(u.Iterations)
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if old, ok := h.iterTime[u.ClientID]; ok {
 		h.iterTime[u.ClientID] = h.alpha*t + (1-h.alpha)*old
 	} else {
@@ -37,16 +46,24 @@ func (h *History) Observe(u Update) {
 // EstIterTime returns the estimated per-iteration time of a client and
 // whether any estimate exists.
 func (h *History) EstIterTime(clientID int) (float64, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	t, ok := h.iterTime[clientID]
 	return t, ok
 }
 
 // Known returns how many clients have estimates.
-func (h *History) Known() int { return len(h.iterTime) }
+func (h *History) Known() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.iterTime)
+}
 
 // EstRoundTimes returns the estimated K-iteration local training time for
 // each client with history (unordered map copy).
 func (h *History) EstRoundTimes(k int) map[int]float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make(map[int]float64, len(h.iterTime))
 	for id, t := range h.iterTime {
 		out[id] = t * float64(k)

@@ -1,0 +1,84 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomUpdates(r *rand.Rand, clients, n int) ([]Update, float64) {
+	ups := make([]Update, clients)
+	var totalW float64
+	for i := range ups {
+		d := make([]float64, n)
+		for j := range d {
+			d[j] = r.NormFloat64()
+		}
+		w := 1 + 9*r.Float64()
+		ups[i] = Update{ClientID: i, Delta: d, Weight: w}
+		totalW += w
+	}
+	return ups, totalW
+}
+
+// serialReduce is the pre-sharding reference reduce, kept verbatim as the
+// bit-exactness oracle for weightedReduce.
+func serialReduce(flat []float64, collected []Update, totalW float64) {
+	agg := make([]float64, len(flat))
+	for _, u := range collected {
+		w := u.Weight / totalW
+		for j, v := range u.Delta {
+			agg[j] += w * v
+		}
+	}
+	for j := range flat {
+		flat[j] += agg[j]
+	}
+}
+
+// TestWeightedReduceDeterministic: the sharded parallel reduce must produce
+// globals bit-identical to the serial loop for every worker count, including
+// parameter counts that do and don't clear the minReduceShard gate and shard
+// boundaries that don't divide evenly.
+func TestWeightedReduceDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, minReduceShard, 10 * minReduceShard} {
+		for _, clients := range []int{1, 3, 9} {
+			ups, totalW := randomUpdates(r, clients, n)
+			base := make([]float64, n)
+			for j := range base {
+				base[j] = r.NormFloat64()
+			}
+			want := append([]float64(nil), base...)
+			serialReduce(want, ups, totalW)
+			for _, workers := range []int{1, 2, 4, 13} {
+				got := append([]float64(nil), base...)
+				agg := make([]float64, n)
+				weightedReduce(got, agg, ups, totalW, workers)
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("n=%d clients=%d workers=%d: flat[%d] = %v, serial %v",
+							n, clients, workers, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkWeightedReduce measures the aggregation hot path at a CNN-scale
+// parameter count across worker counts (workers=1 is the old serial loop).
+func BenchmarkWeightedReduce(b *testing.B) {
+	const n, clients = 1 << 18, 16
+	r := rand.New(rand.NewSource(2))
+	ups, totalW := randomUpdates(r, clients, n)
+	flat := make([]float64, n)
+	agg := make([]float64, n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				weightedReduce(flat, agg, ups, totalW, workers)
+			}
+		})
+	}
+}

@@ -40,6 +40,9 @@ type Runner struct {
 	global  *nn.Network
 	flat    []float64
 	workers []*nn.Network
+	bufs    []*RoundBuffers // per-worker scratch, index-aligned with workers
+	pool    *deltaPool      // recycles Update.Delta vectors across rounds
+	aggBuf  []float64       // reusable accumulator of the weighted reduce
 	round   int
 	now     float64
 }
@@ -60,8 +63,11 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 		nWorkers = len(clients)
 	}
 	workers := make([]*nn.Network, nWorkers)
+	bufs := make([]*RoundBuffers, nWorkers)
+	pool := &deltaPool{}
 	for i := range workers {
 		workers[i] = factory()
+		bufs[i] = &RoundBuffers{pool: pool}
 	}
 	return &Runner{
 		Cfg:     cfg,
@@ -72,6 +78,8 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 		global:  global,
 		flat:    global.FlatParams(),
 		workers: workers,
+		bufs:    bufs,
+		pool:    pool,
 	}, nil
 }
 
@@ -122,22 +130,25 @@ func (r *Runner) RunRound() RoundResult {
 		}
 	}
 
-	// Controllers are created serially: schemes may mutate shared state
-	// (e.g. FedCA's per-client profiles) during construction.
+	// Controllers are created serially (the Scheme contract): schemes may
+	// mutate shared state (e.g. FedCA's per-client profiles) during
+	// construction without locking against other NewController calls —
+	// though stats they expose to concurrent pollers still need locks.
 	ctrls := make([]Controller, len(participants))
 	for i, c := range participants {
 		ctrls[i] = r.Scheme.NewController(c, r.round, plan)
 	}
 
-	// Clients run in parallel; each worker owns one network. Results land in
-	// a slice indexed by participant, so the outcome is order-independent.
+	// Clients run in parallel; each worker owns one network and one scratch
+	// buffer set. Results land in a slice indexed by participant, so the
+	// outcome is order-independent.
 	updates := make([]Update, len(participants))
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	wg.Add(len(r.workers))
 	for w := 0; w < len(r.workers); w++ {
-		go func(net *nn.Network) {
+		go func(net *nn.Network, bufs *RoundBuffers) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -147,9 +158,9 @@ func (r *Runner) RunRound() RoundResult {
 				if i >= len(participants) {
 					return
 				}
-				updates[i] = RunClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], start)
+				updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], start, bufs)
 			}
-		}(r.workers[w])
+		}(r.workers[w], r.bufs[w])
 	}
 	wg.Wait()
 
@@ -187,6 +198,7 @@ func (r *Runner) RunRound() RoundResult {
 
 	// Aggregation: schemes implementing Aggregator replace the default
 	// weighted FedAvg mean (e.g. SAFA-style stale-update reuse).
+	_, customAgg := r.Scheme.(Aggregator)
 	if agg, ok := r.Scheme.(Aggregator); ok {
 		r.flat = agg.Aggregate(r.round, r.flat, collected, discarded)
 		if len(r.flat) != r.global.NumParams() {
@@ -197,16 +209,10 @@ func (r *Runner) RunRound() RoundResult {
 		for _, u := range collected {
 			totalW += u.Weight
 		}
-		agg := make([]float64, len(r.flat))
-		for _, u := range collected {
-			w := u.Weight / totalW
-			for j, v := range u.Delta {
-				agg[j] += w * v
-			}
+		if len(r.aggBuf) != len(r.flat) {
+			r.aggBuf = make([]float64, len(r.flat))
 		}
-		for j := range r.flat {
-			r.flat[j] += agg[j]
-		}
+		weightedReduce(r.flat, r.aggBuf, collected, totalW, len(r.workers))
 	}
 	r.global.SetFlatParams(r.flat)
 
@@ -214,10 +220,20 @@ func (r *Runner) RunRound() RoundResult {
 		r.Hist.Observe(u)
 	}
 	if !r.Cfg.RetainUpdateDeltas {
+		// The deltas are dead now; recycle them into the worker pool — but
+		// only on the default-aggregation path: a custom Aggregator may have
+		// retained references (SAFA caches stragglers), and clobbering those
+		// through the pool would corrupt it silently.
 		for i := range collected {
+			if !customAgg {
+				r.pool.put(collected[i].Delta)
+			}
 			collected[i].Delta = nil
 		}
 		for i := range discarded {
+			if !customAgg {
+				r.pool.put(discarded[i].Delta)
+			}
 			discarded[i].Delta = nil
 		}
 	}
@@ -261,6 +277,53 @@ func (r *Runner) RunUntil(target float64, maxRounds int) []RoundResult {
 		}
 	}
 	return out
+}
+
+// minReduceShard is the smallest per-goroutine parameter count worth a
+// goroutine in the weighted reduce; smaller models reduce serially.
+const minReduceShard = 2048
+
+// weightedReduce adds the weight-normalized (by totalW) mean of the
+// collected deltas to flat, fanning the parameter dimension out over at most
+// workers goroutines with agg (len == len(flat)) as the accumulator.
+//
+// Each shard owns a disjoint index range and accumulates clients in slice
+// order, so every element sees exactly the floating-point operation sequence
+// of the serial client-major loop: the result is bit-identical for any
+// worker count (TestWeightedReduceDeterministic).
+func weightedReduce(flat, agg []float64, collected []Update, totalW float64, workers int) {
+	n := len(flat)
+	reduceRange := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			agg[j] = 0
+		}
+		for _, u := range collected {
+			w := u.Weight / totalW
+			d := u.Delta
+			for j := lo; j < hi; j++ {
+				agg[j] += w * d[j]
+			}
+		}
+		for j := lo; j < hi; j++ {
+			flat[j] += agg[j]
+		}
+	}
+	if workers > n/minReduceShard {
+		workers = n / minReduceShard
+	}
+	if workers <= 1 {
+		reduceRange(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			reduceRange(lo, hi)
+		}(w*n/workers, (w+1)*n/workers)
+	}
+	wg.Wait()
 }
 
 // Evaluate computes the model's accuracy on ds, in batches of batch samples

@@ -1,0 +1,51 @@
+package fedca_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"fedca"
+)
+
+// TestFedCAStatsPollingDuringRound polls Federation.FedCAStats from a
+// monitoring goroutine while rounds run — the facade-level version of the
+// internal/core stats race test. Meaningful under -race with GOMAXPROCS>1.
+func TestFedCAStatsPollingDuringRound(t *testing.T) {
+	opts := fedca.DefaultOptions()
+	opts.Clients = 4
+	opts.LocalIters = 6
+	opts.BatchSize = 8
+	opts.TrainSamples = 256
+	opts.TestSamples = 64
+	opts.FedCA.K = 6
+	opts.FedCA.ProfilePeriod = 2
+	f, err := fedca.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, ok := f.FedCAStats(); !ok {
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	f.Run(3) // rounds 0 and 2 are anchors (period 2)
+	close(done)
+	wg.Wait()
+	st, ok := f.FedCAStats()
+	if !ok || st.AnchorRounds == 0 {
+		t.Fatalf("stats = %+v ok=%v; expected anchor rounds", st, ok)
+	}
+}
