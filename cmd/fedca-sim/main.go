@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"fedca/internal/baseline"
+	"fedca/internal/chaos"
 	"fedca/internal/compress"
 	"fedca/internal/core"
 	"fedca/internal/expcfg"
@@ -33,6 +34,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master seed")
 	compressSpec := flag.String("compress", "none", "upload compressor: none | qsgd<levels> | topk<percent>")
 	dropout := flag.Float64("dropout", 0, "per-round client dropout probability")
+	chaosSpec := flag.String("chaos", "none", `fault-injection spec, e.g. "drop=0.1,slow=0.3,degrade=0.2,outage=0.05,xfail=0.02,corrupt=0.01" (deterministic per seed)`)
+	minQuorum := flag.Int("quorum", 0, "minimum valid updates to aggregate a round (0 = 1); thinner rounds are skipped, not fatal")
+	maxNorm := flag.Float64("maxnorm", 0, "quarantine updates whose L2 norm exceeds this (0 = no bound)")
 	logPath := flag.String("log", "", "write a JSON-lines run log to this path")
 	flag.Parse()
 
@@ -58,6 +62,19 @@ func main() {
 		w.FL.Compressor = comp
 	}
 	w.FL.DropoutProb = *dropout
+	ccfg, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		fail(err)
+	}
+	if ccfg.Enabled() {
+		eng, err := chaos.NewEngine(ccfg, rng.New(*seed).Fork("chaos-engine").Uint64())
+		if err != nil {
+			fail(err)
+		}
+		w.FL.Chaos = eng
+	}
+	w.FL.MinQuorum = *minQuorum
+	w.FL.MaxDeltaNorm = *maxNorm
 
 	var sch fl.Scheme
 	var fedca *core.Scheme
@@ -112,8 +129,15 @@ func main() {
 	fmt.Printf("%5s %12s %10s %8s %8s %7s %7s\n", "round", "vtime(s)", "dur(s)", "acc", "iters", "eager", "retr")
 	for i := 0; i < scale.Rounds; i++ {
 		r := runner.RunRound()
-		fmt.Printf("%5d %12.1f %10.1f %8.4f %8.1f %7.1f %7.1f\n",
-			r.Round, r.End, r.Duration(), r.Accuracy, r.MeanIterations, r.MeanEagerSent, r.MeanRetrans)
+		note := ""
+		if r.Skipped {
+			note = " SKIPPED"
+		}
+		if r.Quarantined > 0 {
+			note += fmt.Sprintf(" quarantined=%d", r.Quarantined)
+		}
+		fmt.Printf("%5d %12.1f %10.1f %8.4f %8.1f %7.1f %7.1f%s\n",
+			r.Round, r.End, r.Duration(), r.Accuracy, r.MeanIterations, r.MeanEagerSent, r.MeanRetrans, note)
 		if logw != nil {
 			if err := logw.WriteRound(r); err != nil {
 				fail(err)
@@ -124,6 +148,11 @@ func main() {
 		st := fedca.Stats()
 		fmt.Printf("fedca: early-stops=%d full-rounds=%d eager=%d retransmissions=%d anchors=%d\n",
 			len(st.EarlyStopIters), st.FullRounds, st.EagerSentTotal, st.RetransmitsTotal, st.AnchorRounds)
+	}
+	if ccfg.Enabled() || *minQuorum > 0 || *maxNorm > 0 {
+		st := runner.Stats()
+		fmt.Printf("degradation: skipped-rounds=%d quarantined=%d dropped-client-rounds=%d link-retries=%d\n",
+			st.SkippedRounds, st.Quarantined, st.DroppedRounds, st.LinkRetries)
 	}
 }
 

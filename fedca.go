@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"fedca/internal/baseline"
+	"fedca/internal/chaos"
 	"fedca/internal/compress"
 	"fedca/internal/core"
 	"fedca/internal/expcfg"
@@ -53,6 +54,21 @@ type Options struct {
 	// DropoutProb injects per-round client dropout (0 = never).
 	DropoutProb float64
 
+	// Chaos is a fault-injection spec, e.g.
+	// "drop=0.1,slow=0.3,degrade=0.2,outage=0.05,xfail=0.02,corrupt=0.01"
+	// ("" or "none" disables injection; see chaos.ParseSpec for the full
+	// grammar). Fault schedules derive deterministically from Seed: equal
+	// seeds and specs reproduce every dropout, slowdown, link fault and
+	// corruption bit-for-bit.
+	Chaos string
+	// MinQuorum is the minimum number of valid updates needed to aggregate a
+	// round (0 = 1). Rounds falling short are skipped and recorded, never
+	// fatal.
+	MinQuorum int
+	// MaxDeltaNorm, when positive, quarantines finite updates whose L2 norm
+	// exceeds it (exploded deltas) before aggregation.
+	MaxDeltaNorm float64
+
 	// FedCA carries the FedCA hyperparameters (ignored by other schemes).
 	FedCA core.Options
 }
@@ -86,6 +102,11 @@ type Round struct {
 	Retransmitted  float64
 	Collected      int
 	Dropped        int
+	// Skipped marks a round that closed without aggregating (below quorum
+	// after dropouts and quarantines); the global model was left unchanged.
+	Skipped bool
+	// Quarantined counts updates rejected by server-side validation.
+	Quarantined int
 }
 
 // Federation is a ready-to-run simulated FL deployment.
@@ -124,6 +145,19 @@ func New(opts Options) (*Federation, error) {
 	if opts.ModelBytes > 0 {
 		w.FL.ModelBytes = opts.ModelBytes
 	}
+	ccfg, err := chaos.ParseSpec(opts.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	if ccfg.Enabled() {
+		eng, err := chaos.NewEngine(ccfg, rng.New(opts.Seed).Fork("chaos-engine").Uint64())
+		if err != nil {
+			return nil, err
+		}
+		w.FL.Chaos = eng
+	}
+	w.FL.MinQuorum = opts.MinQuorum
+	w.FL.MaxDeltaNorm = opts.MaxDeltaNorm
 	comp, err := compress.ByName(opts.Compress)
 	if err != nil {
 		return nil, err
@@ -260,6 +294,12 @@ func (f *Federation) FedCAStats() (stats core.SchemeStats, ok bool) {
 	return f.fedca.Stats(), true
 }
 
+// DegradationStats exposes the runner's graceful-degradation counters —
+// skipped rounds, quarantined updates, dropped client-rounds, link
+// retransmissions. Like FedCAStats, it is safe to poll from another
+// goroutine while RunRound executes.
+func (f *Federation) DegradationStats() fl.RunnerStats { return f.runner.Stats() }
+
 func toRound(res fl.RoundResult) Round {
 	dropped := 0
 	for _, u := range res.Discarded {
@@ -277,5 +317,7 @@ func toRound(res fl.RoundResult) Round {
 		Retransmitted:  res.MeanRetrans,
 		Collected:      len(res.Collected),
 		Dropped:        dropped,
+		Skipped:        res.Skipped,
+		Quarantined:    res.Quarantined,
 	}
 }

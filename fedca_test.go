@@ -178,3 +178,65 @@ func TestFacadeFedCAActsAfterAnchor(t *testing.T) {
 		t.Fatal("no anchor rounds recorded")
 	}
 }
+
+func TestFacadeChaosSpec(t *testing.T) {
+	o := tinyOpts()
+	o.Scheme = "fedavg"
+	o.Chaos = "drop=0.3,slow=0.4,degrade=0.3,outage=0.2,xfail=0.2,corrupt=0.3"
+	o.MaxDeltaNorm = 1e6
+	f, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		f.RunRound()
+	}
+	st := f.DegradationStats()
+	if st.Rounds != 4 {
+		t.Fatalf("stats.Rounds = %d, want 4", st.Rounds)
+	}
+	if st.DroppedRounds == 0 && st.Quarantined == 0 && st.LinkRetries == 0 {
+		t.Fatalf("chaos spec injected nothing observable: %+v", st)
+	}
+	// Replay with the same seed: the facade must reproduce the run exactly.
+	g, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		g.RunRound()
+	}
+	if f.DegradationStats() != g.DegradationStats() {
+		t.Fatalf("chaos runs diverged: %+v vs %+v", f.DegradationStats(), g.DegradationStats())
+	}
+	if f.Accuracy() != g.Accuracy() {
+		t.Fatalf("accuracy diverged: %v vs %v", f.Accuracy(), g.Accuracy())
+	}
+}
+
+func TestFacadeChaosSpecErrors(t *testing.T) {
+	for _, spec := range []string{"drop=2", "bogus=1", "drop"} {
+		o := tinyOpts()
+		o.Chaos = spec
+		if _, err := fedca.New(o); err == nil {
+			t.Fatalf("spec %q must be rejected", spec)
+		}
+	}
+}
+
+func TestFacadeMinQuorumSkip(t *testing.T) {
+	o := tinyOpts()
+	o.Scheme = "fedavg"
+	o.MinQuorum = o.Clients + 1 // unreachable: every round skips
+	f, err := fedca.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.RunRound()
+	if !r.Skipped {
+		t.Fatal("below-quorum round must surface Skipped through the facade")
+	}
+	if f.DegradationStats().SkippedRounds != 1 {
+		t.Fatalf("stats = %+v, want 1 skipped round", f.DegradationStats())
+	}
+}

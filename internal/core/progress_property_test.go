@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedca/internal/core"
+)
+
+// sanitize maps quick's arbitrary float64s (which include NaN, ±Inf and
+// MaxFloat64-scale magnitudes that overflow a sum of squares) into the finite
+// range the metric is defined over.
+func sanitize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 0):
+			out[i] = 0
+		case x > 1e100:
+			out[i] = 1e100
+		case x < -1e100:
+			out[i] = -1e100
+		default:
+			out[i] = x
+		}
+	}
+	return out
+}
+
+func pair(a, b []float64) ([]float64, []float64) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return sanitize(a[:n]), sanitize(b[:n])
+}
+
+func isZero(v []float64) bool {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s == 0
+}
+
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+// Property: P ∈ [-1, 1] for every pair of finite vectors (Eq. 1 is a cosine
+// damped by a ≤1 magnitude ratio, so it can never leave the cosine's range).
+func TestProgressRangeProperty(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		ga, gb := pair(a, b)
+		p := core.Progress(ga, gb)
+		return p >= -1-1e-9 && p <= 1+1e-9 && !math.IsNaN(p)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: P_K = 1 when G_i = G_K. The dot product and the squared norms
+// run through the identical accumulation, so only the sqrt rounding can
+// perturb the cosine — the result must sit within a few ulp of 1 (and the
+// both-zero convention returns exactly 1).
+func TestProgressIdentityProperty(t *testing.T) {
+	prop := func(a []float64) bool {
+		g := sanitize(a)
+		return math.Abs(core.Progress(g, g)-1) <= 1e-12
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Progress is symmetric. min/max(‖G_i‖, ‖G_K‖) ignores argument
+// order and the dot product commutes; only the ratio's division direction
+// (ni/nk vs 1/(nk/ni)) can differ, by at most an ulp.
+func TestProgressSymmetryProperty(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		ga, gb := pair(a, b)
+		p, q := core.Progress(ga, gb), core.Progress(gb, ga)
+		return math.Abs(p-q) <= 1e-12*math.Max(1, math.Abs(p))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling one argument by c isolates the magnitude-ratio term:
+// P(c·G, G) = sign(c) · min(|c|, 1/|c|), because cos(c·G, G) = sign(c).
+func TestProgressScaleRatioProperty(t *testing.T) {
+	prop := func(a []float64, rawScale float64) bool {
+		g := sanitize(a)
+		if isZero(g) {
+			return true // zero-vector cases have their own exact test
+		}
+		// Fold the arbitrary scale into [1e-6, 1e3] either sign, keeping the
+		// scaled norms far from overflow/underflow.
+		c := math.Mod(math.Abs(rawScale), 1e3) + 1e-6
+		if rawScale < 0 {
+			c = -c
+		}
+		scaled := make([]float64, len(g))
+		for i, x := range g {
+			scaled[i] = c * x
+		}
+		want := math.Min(math.Abs(c), 1/math.Abs(c))
+		if c < 0 {
+			want = -want
+		}
+		got := core.Progress(scaled, g)
+		return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zero-vector edge cases are exact by definition: two zero updates are
+// identical (P = 1); a zero update shares no direction with a nonzero one
+// (P = 0) — and that holds from either side.
+func TestProgressZeroVectorEdges(t *testing.T) {
+	zero := make([]float64, 4)
+	g := []float64{0.5, -1.25, 3, 0}
+	if p := core.Progress(zero, zero); p != 1 {
+		t.Fatalf("Progress(0, 0) = %v, want exactly 1", p)
+	}
+	if p := core.Progress(zero, g); p != 0 {
+		t.Fatalf("Progress(0, g) = %v, want exactly 0", p)
+	}
+	if p := core.Progress(g, zero); p != 0 {
+		t.Fatalf("Progress(g, 0) = %v, want exactly 0", p)
+	}
+	if p := core.Progress(nil, nil); p != 1 {
+		t.Fatalf("Progress(nil, nil) = %v, want 1 (empty vectors are equal)", p)
+	}
+	// quick variant: a zero vector against anything nonzero is exactly 0.
+	prop := func(a []float64) bool {
+		g := sanitize(a)
+		z := make([]float64, len(g))
+		if isZero(g) {
+			return core.Progress(z, g) == 1
+		}
+		return core.Progress(z, g) == 0 && core.Progress(g, z) == 0
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the final point of every progress curve is P_K computed against
+// itself — within a few ulp of 1, whatever the snapshots contain.
+func TestProgressCurveEndsAtOneProperty(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		ga, gb := pair(a, b)
+		gc := append([]float64(nil), ga...) // reference snapshot, same length
+		curve := core.ProgressCurve([][]float64{ga, gb, gc})
+		return len(curve) == 3 && math.Abs(curve[2]-1) <= 1e-12
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

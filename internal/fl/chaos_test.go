@@ -1,0 +1,312 @@
+package fl_test
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fedca/internal/baseline"
+	"fedca/internal/chaos"
+	"fedca/internal/expcfg"
+	"fedca/internal/fl"
+	"fedca/internal/trace"
+)
+
+// chaosEngine builds an engine with every fault class enabled, validated.
+func chaosEngine(t *testing.T, seed uint64) *chaos.Engine {
+	t.Helper()
+	e, err := chaos.NewEngine(chaos.Config{
+		DropProb:     0.25,
+		SlowProb:     0.4,
+		DegradeProb:  0.3,
+		OutageProb:   0.25,
+		XferFailProb: 0.15,
+		CorruptProb:  0.2,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestChaosRunDeterministic: two runs with the same master seed and the same
+// chaos engine seed must be bit-identical — parameters, virtual timings and
+// degradation stats.
+func TestChaosRunDeterministic(t *testing.T) {
+	run := func() ([]float64, float64, fl.RunnerStats) {
+		w := tinyWorkload()
+		w.FL.Chaos = chaosEngine(t, 7)
+		tb := expcfg.Build(w, 6, trace.PaperConfig(), 60)
+		r, err := tb.NewRunner(baseline.FedAvg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end float64
+		for i := 0; i < 4; i++ {
+			end = r.RunRound().End
+		}
+		return r.GlobalFlat(), end, r.Stats()
+	}
+	p1, e1, s1 := run()
+	p2, e2, s2 := run()
+	if e1 != e2 {
+		t.Fatalf("virtual end time differs: %v vs %v", e1, e2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d differs between identical chaos runs", i)
+		}
+	}
+	// The schedule must actually have injected something in 4 rounds × 6
+	// clients with these probabilities (seed-dependent; bump seeds if not).
+	if s1.DroppedRounds == 0 && s1.Quarantined == 0 && s1.LinkRetries == 0 {
+		t.Fatalf("chaos run injected no observable fault: %+v", s1)
+	}
+}
+
+// TestChaosCorruptionQuarantined: with every update corrupted, validation
+// must quarantine them all, skip the round, and leave the model untouched.
+func TestChaosCorruptionQuarantined(t *testing.T) {
+	w := tinyWorkload()
+	e, err := chaos.NewEngine(chaos.Config{CorruptProb: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FL.Chaos = e
+	// Exploded deltas are finite; the norm bound is what catches them.
+	w.FL.MaxDeltaNorm = 1e6
+	tb := expcfg.Build(w, 3, trace.Config{}, 61)
+	r, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.GlobalFlat()
+	res := r.RunRound()
+	if !res.Skipped {
+		t.Fatal("round with only corrupted updates must be skipped")
+	}
+	if res.Quarantined == 0 {
+		t.Fatal("corrupted updates must be counted as quarantined")
+	}
+	quarantined := 0
+	for _, u := range res.Discarded {
+		if u.Quarantined {
+			quarantined++
+			if u.Delta == nil {
+				t.Fatal("quarantined update must keep its Delta (RetainUpdateDeltas on)")
+			}
+			finite := true
+			norm := 0.0
+			for _, v := range u.Delta {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					finite = false
+					break
+				}
+				norm += v * v
+			}
+			if finite && norm < 1e12 {
+				t.Fatal("quarantined update looks healthy")
+			}
+		}
+	}
+	if quarantined != res.Quarantined {
+		t.Fatalf("Quarantined = %d but %d flagged updates in Discarded", res.Quarantined, quarantined)
+	}
+	after := r.GlobalFlat()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("quarantine-skipped round must leave the model unchanged")
+		}
+	}
+	if st := r.Stats(); st.Quarantined != res.Quarantined || st.SkippedRounds != 1 {
+		t.Fatalf("runner stats %+v disagree with round result", st)
+	}
+}
+
+// TestMaxDeltaNormQuarantinesExplosions: a finite but exploded delta passes
+// the finite check and must be caught by the norm bound.
+func TestMaxDeltaNormQuarantinesExplosions(t *testing.T) {
+	w := tinyWorkload()
+	e, err := chaos.NewEngine(chaos.Config{CorruptProb: 1, ExplodeScale: 1e9}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FL.Chaos = e
+	w.FL.MaxDeltaNorm = 1e6
+	tb := expcfg.Build(w, 2, trace.Config{}, 62)
+	r, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.RunRound()
+	if res.Quarantined != len(res.Discarded) || res.Quarantined == 0 {
+		t.Fatalf("want every update quarantined by the norm bound, got %d of %d discarded",
+			res.Quarantined, len(res.Discarded))
+	}
+}
+
+// TestMinQuorumSkipsThinRounds: surviving updates below the quorum cause a
+// recorded skip even though the updates themselves are healthy.
+func TestMinQuorumSkipsThinRounds(t *testing.T) {
+	w := tinyWorkload()
+	w.FL.MinQuorum = 3 // only 2 clients exist: every round is below quorum
+	tb := expcfg.Build(w, 2, trace.Config{}, 63)
+	r, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.GlobalFlat()
+	res := r.RunRound()
+	if !res.Skipped {
+		t.Fatal("below-quorum round must be skipped")
+	}
+	if len(res.Collected) == 0 {
+		t.Fatal("healthy survivors must stay visible in Collected")
+	}
+	after := r.GlobalFlat()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("below-quorum round must not aggregate")
+		}
+	}
+	// The survivors' timings still feed the history.
+	if r.Hist.Known() == 0 {
+		t.Fatal("skipped round must still observe survivor timings")
+	}
+}
+
+// TestRunnerStatsPolledDuringChaosRound hammers Runner.Stats from a second
+// goroutine while chaos-faulted rounds execute. Under -race this pins the
+// stats synchronization with fault injection active.
+func TestRunnerStatsPolledDuringChaosRound(t *testing.T) {
+	w := tinyWorkload()
+	w.FL.Chaos = chaosEngine(t, 19)
+	tb := expcfg.Build(w, 8, trace.PaperConfig(), 64)
+	r, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = r.Stats()
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		r.RunRound()
+	}
+	close(done)
+	wg.Wait()
+	if st := r.Stats(); st.Rounds != 3 {
+		t.Fatalf("stats.Rounds = %d, want 3", st.Rounds)
+	}
+}
+
+// eagerAtOneCtrl eagerly transmits layer 0 after the first iteration.
+type eagerAtOneCtrl struct{ fl.NopController }
+
+func (eagerAtOneCtrl) AfterIteration(st fl.IterState) fl.IterAction {
+	if st.Iter == 1 {
+		return fl.IterAction{EagerLayers: []int{0}}
+	}
+	return fl.IterAction{}
+}
+
+// TestDropMidEagerReleasesUplink: a client dropping after an eager
+// transmission must never contribute a partial layer to aggregation, and the
+// next round's reset must release the occupied uplink.
+func TestDropMidEagerReleasesUplink(t *testing.T) {
+	cases := []struct {
+		name    string
+		dropAt  int
+		eager   bool // an eager send happened before the drop
+		dropped bool
+	}{
+		{"drop-before-eager", 1, false, true},
+		{"drop-right-after-eager", 2, true, true},
+		{"drop-later", 5, true, true},
+		{"no-drop", 0, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tinyWorkload()
+			tb := expcfg.Build(w, 1, trace.Config{}, 65)
+			c := tb.Clients[0]
+			net := tb.Factory()
+			cfg := w.FL
+			if err := cfg.Validate(net.NumParams()); err != nil {
+				t.Fatal(err)
+			}
+			if tc.dropAt > 0 {
+				// Force an exact iteration-level drop through the chaos
+				// engine by scanning rounds for a matching plan.
+				e, err := chaos.NewEngine(chaos.Config{DropProb: 1}, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				round := -1
+				for rd := 0; rd < 4096; rd++ {
+					if e.Plan(c.ID, rd, cfg.LocalIters, cfg.BaseIterTime).DropIter() == tc.dropAt {
+						round = rd
+						break
+					}
+				}
+				if round < 0 {
+					t.Fatalf("no round with drop at iteration %d found; widen the scan", tc.dropAt)
+				}
+				cfg.Chaos = e
+				u := fl.RunClientRound(c, net, net.FlatParams(), &cfg, fl.RoundPlan{Deadline: fl.NoDeadline()}, eagerAtOneCtrl{}, round, 0)
+				verifyDroppedClient(t, c, u, tc.eager)
+				return
+			}
+			u := fl.RunClientRound(c, net, net.FlatParams(), &cfg, fl.RoundPlan{Deadline: fl.NoDeadline()}, eagerAtOneCtrl{}, 0, 0)
+			if u.Dropped || u.Delta == nil {
+				t.Fatal("no-drop case must deliver a full update")
+			}
+		})
+	}
+}
+
+func verifyDroppedClient(t *testing.T, c *fl.Client, u fl.Update, eagerBeforeDrop bool) {
+	t.Helper()
+	if !u.Dropped {
+		t.Fatal("client must drop at the planned iteration")
+	}
+	if u.Delta != nil {
+		t.Fatal("dropped client must never hand the server a delta — not even a partial eager layer")
+	}
+	if !math.IsInf(u.CompletionTime, 1) {
+		t.Fatal("dropped update must sort last (CompletionTime = +Inf)")
+	}
+	if eagerBeforeDrop {
+		if u.EagerSent == 0 || u.UploadBytes == 0 {
+			t.Fatalf("eager traffic before the drop must be accounted: %d sends, %v bytes", u.EagerSent, u.UploadBytes)
+		}
+		if c.Up.FreeAt() == 0 {
+			t.Fatal("the abandoned eager transfer should have occupied the uplink")
+		}
+	} else if u.EagerSent != 0 {
+		t.Fatal("no eager send should precede a drop at iteration 1")
+	}
+	// Next round: the reset releases whatever the dead client left on the
+	// uplink, so a fresh transfer starts immediately.
+	const nextStart = 1e9
+	c.Up.ResetAt(nextStart)
+	start, _ := c.Up.Transfer(nextStart, 10)
+	if start != nextStart {
+		t.Fatalf("uplink not released by round reset: next transfer starts at %v, want %v", start, nextStart)
+	}
+}

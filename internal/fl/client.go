@@ -67,7 +67,8 @@ func (b *RoundBuffers) outDelta(n int) []float64 {
 
 // RunClientRound simulates one client's round: model download, local SGD with
 // scheme hooks, eager per-layer transmissions, and the end-of-round upload.
-// Training math runs for real; time is accounted in virtual seconds.
+// Training math runs for real; time is accounted in virtual seconds. round is
+// the 0-based round index, which keys the fault plan when cfg.Chaos is set.
 //
 // net is a worker-local network (parameters are overwritten with globalFlat);
 // it must have the same architecture the globalFlat vector came from.
@@ -76,26 +77,21 @@ func (b *RoundBuffers) outDelta(n int) []float64 {
 // Controller hook inline; see the package comment for the full concurrency
 // contract. This exported variant allocates its own buffers; the runner's
 // workers pass reusable ones through runClientRound.
-func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, roundStart float64) Update {
-	return runClientRound(c, net, globalFlat, cfg, plan, ctrl, roundStart, nil)
+func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64) Update {
+	return runClientRound(c, net, globalFlat, cfg, plan, ctrl, round, roundStart, nil)
 }
 
-func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, roundStart float64, bufs *RoundBuffers) Update {
+func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers) Update {
 	ranges := net.ParamRanges()
 	if len(globalFlat) != net.NumParams() {
 		panic(fmt.Sprintf("fl: global vector size %d != model params %d", len(globalFlat), net.NumParams()))
 	}
-	// Fresh round: abandoned transfers from a previous round are cancelled.
+	// Fresh round: abandoned transfers and fault windows from a previous
+	// round are cancelled.
 	c.Down.ResetAt(roundStart)
 	c.Up.ResetAt(roundStart)
 	upBytesBefore := c.Up.BytesSent()
-
-	_, tDown := c.Down.Transfer(roundStart, cfg.ModelBytes)
-	net.SetFlatParams(globalFlat)
-	// Stochastic layers (dropout) must not depend on which worker network
-	// this client landed on; reseed them from client identity and round time.
-	net.ReseedNoise(uint64(c.ID)<<32 ^ uint64(int64(roundStart*1e6)))
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	upRetriesBefore := c.Up.Retries()
 
 	budget := cfg.LocalIters
 	if plan.IterBudget != nil {
@@ -107,16 +103,41 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		budget = cfg.LocalIters
 	}
 
-	// Failure injection: the client may drop out partway through the round
-	// (Sec. 3.1 treats drop-out as the extreme of resource shrinkage). The
-	// dropped client still burns the compute up to the dropout iteration, but
-	// its update never reaches the server.
+	// Fault injection: the plan is a pure function of (seed, client, round),
+	// so schedules are identical at any worker count. Link fault windows are
+	// installed right after the round-start reset, before any transfer.
+	cplan := cfg.Chaos.Plan(c.ID, round, budget, cfg.BaseIterTime)
+	if cplan != nil {
+		for _, w := range cplan.Down {
+			c.Down.Impair(roundStart+w.From, roundStart+w.To, w.Scale)
+		}
+		for _, w := range cplan.Up {
+			c.Up.Impair(roundStart+w.From, roundStart+w.To, w.Scale)
+		}
+	}
+
+	_, tDown := c.Down.TransferAttempts(roundStart, cfg.ModelBytes, cplan.Attempts())
+	net.SetFlatParams(globalFlat)
+	// Stochastic layers (dropout) must not depend on which worker network
+	// this client landed on; reseed them from client identity and round time.
+	net.ReseedNoise(uint64(c.ID)<<32 ^ uint64(int64(roundStart*1e6)))
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+
+	// Drop-out: the client may vanish partway through the round (Sec. 3.1
+	// treats drop-out as the extreme of resource shrinkage). The dropped
+	// client still burns the compute up to the dropout iteration, but its
+	// update never reaches the server. The legacy per-round Bernoulli model
+	// (DropoutProb) and the chaos plan's iteration-level dropout compose: the
+	// earlier iteration wins.
 	dropAt := 0 // 0 = no dropout
 	if cfg.DropoutProb > 0 && c.Chaos != nil {
 		r := c.Chaos.Fork("dropout", int(roundStart*1e6))
 		if r.Float64() < cfg.DropoutProb {
 			dropAt = 1 + r.Intn(budget)
 		}
+	}
+	if d := cplan.DropIter(); d > 0 && (dropAt == 0 || d < dropAt) {
+		dropAt = d
 	}
 
 	bytesPerScalar := cfg.ModelBytes / float64(len(globalFlat))
@@ -149,13 +170,16 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		ctrl.ModifyGrad(params, globalFlat)
 		opt.Step(params)
 
-		now += c.Speed.IterDuration(cfg.BaseIterTime, now)
+		now += c.Speed.IterDurationWith(cfg.BaseIterTime, now, cplan.ComputeFactor(iter))
 		iters = iter
 
 		if iter == dropAt {
 			// The device vanished: no upload, and Finalize is never called.
 			// Schemes that armed per-client state this round observe the
 			// dropout so they can reset it (e.g. FedCA's anchor recording).
+			// Any eager transmission already on the uplink is abandoned; the
+			// next round's ResetAt releases the link, and the server never
+			// sees a partial layer (Delta stays nil).
 			if d, ok := ctrl.(DropoutObserver); ok {
 				d.OnDropout(iters)
 			}
@@ -166,6 +190,9 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 				TrainTime:      now - trainStart,
 				CompletionTime: math.Inf(1),
 				Dropped:        true,
+				UploadBytes:    c.Up.BytesSent() - upBytesBefore,
+				LinkRetries:    c.Up.Retries() - upRetriesBefore,
+				EagerSent:      len(eager),
 			}
 		}
 
@@ -202,7 +229,7 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 			approx, wireBytes := compressLayer(delta[rg.Start:rg.End])
 			snap := make([]float64, rg.Size())
 			copy(snap, approx)
-			sentAt, doneAt := c.Up.Transfer(now, wireBytes)
+			sentAt, doneAt := c.Up.TransferAttempts(now, wireBytes, cplan.Attempts())
 			eager = append(eager, EagerRecord{Layer: li, Iter: iter, Snapshot: snap, SentAt: sentAt, DoneAt: doneAt})
 		}
 		if action.Stop {
@@ -252,7 +279,10 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	if finalBytes < 64 {
 		finalBytes = 64 // control message floor
 	}
-	_, completion := c.Up.Transfer(now, finalBytes)
+	// Corruption strikes the payload as serialized for upload — after eager
+	// overlays and compression, so the server decodes exactly the damage.
+	cplan.CorruptDelta(serverDelta)
+	_, completion := c.Up.TransferAttempts(now, finalBytes, cplan.Attempts())
 
 	var eagerIters, retransIters []int
 	for ei, rec := range eager {
@@ -271,6 +301,7 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		TrainLoss:      lossSum / float64(iters),
 		CompletionTime: completion,
 		UploadBytes:    c.Up.BytesSent() - upBytesBefore,
+		LinkRetries:    c.Up.Retries() - upRetriesBefore,
 		EagerSent:      len(eager),
 		Retransmitted:  len(retrans),
 		EagerIters:     eagerIters,

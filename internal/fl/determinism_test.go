@@ -5,35 +5,70 @@ import (
 	"testing"
 
 	"fedca/internal/baseline"
+	"fedca/internal/chaos"
 	"fedca/internal/expcfg"
+	"fedca/internal/fl"
 	"fedca/internal/trace"
 )
 
 // TestWorkerCountInvariance is the strongest determinism guarantee: the same
 // run at GOMAXPROCS=1 and at full parallelism must produce bit-identical
 // global parameters and timings (deterministic per-sample reductions in conv
-// backward, per-client noise reseeding, ordered aggregation).
+// backward, per-client noise reseeding, ordered aggregation). The chaos
+// variant extends the contract to fault injection: fault schedules derive
+// from (seed, client, round) alone, so dropouts, slowdowns, link faults,
+// retransmissions and quarantines must also be worker-count invariant.
 func TestWorkerCountInvariance(t *testing.T) {
-	run := func(procs int) ([]float64, float64) {
-		old := runtime.GOMAXPROCS(procs)
-		defer runtime.GOMAXPROCS(old)
-		tb := expcfg.Build(tinyWorkload(), 6, trace.PaperConfig(), 50)
-		r, err := tb.NewRunner(baseline.FedAvg{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		r.RunRound()
-		res := r.RunRound()
-		return r.GlobalFlat(), res.End
+	cases := []struct {
+		name  string
+		chaos func(t *testing.T) *chaos.Engine
+	}{
+		{"plain", func(*testing.T) *chaos.Engine { return nil }},
+		{"chaos", func(t *testing.T) *chaos.Engine {
+			e, err := chaos.NewEngine(chaos.Config{
+				DropProb:     0.3,
+				SlowProb:     0.5,
+				DegradeProb:  0.3,
+				OutageProb:   0.25,
+				XferFailProb: 0.2,
+				CorruptProb:  0.25,
+			}, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
 	}
-	serialParams, serialEnd := run(1)
-	parallelParams, parallelEnd := run(runtime.NumCPU())
-	if serialEnd != parallelEnd {
-		t.Fatalf("round end differs: %v vs %v", serialEnd, parallelEnd)
-	}
-	for i := range serialParams {
-		if serialParams[i] != parallelParams[i] {
-			t.Fatalf("param %d differs between worker counts", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(procs int) ([]float64, float64, fl.RunnerStats) {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+				w := tinyWorkload()
+				w.FL.Chaos = tc.chaos(t)
+				w.FL.MaxDeltaNorm = 1e6
+				tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
+				r, err := tb.NewRunner(baseline.FedAvg{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.RunRound()
+				res := r.RunRound()
+				return r.GlobalFlat(), res.End, r.Stats()
+			}
+			serialParams, serialEnd, serialStats := run(1)
+			parallelParams, parallelEnd, parallelStats := run(runtime.NumCPU())
+			if serialEnd != parallelEnd {
+				t.Fatalf("round end differs: %v vs %v", serialEnd, parallelEnd)
+			}
+			if serialStats != parallelStats {
+				t.Fatalf("degradation stats differ: %+v vs %+v", serialStats, parallelStats)
+			}
+			for i := range serialParams {
+				if serialParams[i] != parallelParams[i] {
+					t.Fatalf("param %d differs between worker counts", i)
+				}
+			}
+		})
 	}
 }

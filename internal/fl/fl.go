@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 
+	"fedca/internal/chaos"
 	"fedca/internal/compress"
 	"fedca/internal/data"
 	"fedca/internal/nn"
@@ -86,6 +87,32 @@ type Config struct {
 	// drop-out as the extreme of resource shrinkage). A dropped client's
 	// update never reaches the server. Requires clients to carry a Chaos RNG.
 	DropoutProb float64
+
+	// Chaos injects the deterministic fault plans of internal/chaos into
+	// every client round: iteration-level dropout, transient compute
+	// slowdowns, link degradation/outage, transfer retransmissions and
+	// corrupted updates. Nil disables injection. Setting it implies
+	// ValidateUpdates.
+	Chaos *chaos.Engine
+
+	// MinQuorum is the minimum number of valid collected updates required to
+	// aggregate a round (≤ 0 means 1). A round falling short — mass dropout,
+	// quarantined updates — is skipped: the global model stays unchanged and
+	// the skip is recorded in the RoundResult and RunnerStats instead of
+	// aborting the run.
+	MinQuorum int
+
+	// ValidateUpdates scans every collected delta before aggregation and
+	// quarantines invalid ones (any non-finite coordinate, or an L2 norm
+	// above MaxDeltaNorm when set) into the round's Discarded set, so one
+	// corrupted client cannot poison the global model. Always on when Chaos
+	// is set.
+	ValidateUpdates bool
+
+	// MaxDeltaNorm, when positive, additionally quarantines finite updates
+	// whose L2 norm exceeds it (exploded deltas). Only consulted when update
+	// validation is active.
+	MaxDeltaNorm float64
 }
 
 // Validate applies defaults and rejects nonsense.
@@ -96,20 +123,40 @@ func (c *Config) Validate(numParams int) error {
 	if c.BatchSize <= 0 {
 		return fmt.Errorf("fl: BatchSize must be positive, got %d", c.BatchSize)
 	}
-	if c.LR <= 0 {
-		return fmt.Errorf("fl: LR must be positive, got %v", c.LR)
+	// NaN slips past ordered comparisons (NaN<=0 and NaN>1 are both false),
+	// so the float knobs are checked for finiteness explicitly.
+	if c.LR <= 0 || math.IsNaN(c.LR) || math.IsInf(c.LR, 0) {
+		return fmt.Errorf("fl: LR must be positive and finite, got %v", c.LR)
 	}
-	if c.AggregateFraction <= 0 || c.AggregateFraction > 1 {
+	if math.IsNaN(c.Momentum) || math.IsInf(c.Momentum, 0) {
+		return fmt.Errorf("fl: Momentum must be finite, got %v", c.Momentum)
+	}
+	if math.IsNaN(c.WeightDecay) || math.IsInf(c.WeightDecay, 0) {
+		return fmt.Errorf("fl: WeightDecay must be finite, got %v", c.WeightDecay)
+	}
+	if c.AggregateFraction <= 0 || c.AggregateFraction > 1 || math.IsNaN(c.AggregateFraction) {
 		return fmt.Errorf("fl: AggregateFraction must be in (0,1], got %v", c.AggregateFraction)
 	}
-	if c.BaseIterTime <= 0 {
-		return fmt.Errorf("fl: BaseIterTime must be positive, got %v", c.BaseIterTime)
+	if c.BaseIterTime <= 0 || math.IsNaN(c.BaseIterTime) || math.IsInf(c.BaseIterTime, 0) {
+		return fmt.Errorf("fl: BaseIterTime must be positive and finite, got %v", c.BaseIterTime)
 	}
 	if c.ModelBytes == 0 {
 		c.ModelBytes = float64(numParams) * 4
 	}
-	if c.ModelBytes < 0 {
-		return fmt.Errorf("fl: ModelBytes must be non-negative")
+	if c.ModelBytes < 0 || math.IsNaN(c.ModelBytes) || math.IsInf(c.ModelBytes, 0) {
+		return fmt.Errorf("fl: ModelBytes must be non-negative and finite, got %v", c.ModelBytes)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb > 1 || math.IsNaN(c.DropoutProb) {
+		return fmt.Errorf("fl: DropoutProb must be in [0,1], got %v", c.DropoutProb)
+	}
+	if c.MinQuorum < 0 {
+		c.MinQuorum = 0
+	}
+	if c.MaxDeltaNorm < 0 || math.IsNaN(c.MaxDeltaNorm) {
+		return fmt.Errorf("fl: MaxDeltaNorm must be non-negative, got %v", c.MaxDeltaNorm)
+	}
+	if c.Chaos != nil {
+		c.ValidateUpdates = true
 	}
 	return nil
 }
@@ -236,11 +283,18 @@ type Update struct {
 	TrainLoss      float64 // mean per-iteration training loss (client-reported)
 	CompletionTime float64 // virtual time the full update reached the server
 	Dropped        bool    // the client dropped out; the update never arrived
-	UploadBytes    float64
-	EagerSent      int
-	Retransmitted  int
-	EagerIters     []int // iteration at which each eager transmission fired
-	RetransIters   []int // effective iterations of retransmitted layers (= Iterations)
+	// Quarantined marks an update that arrived but failed server-side
+	// validation (non-finite or norm-bounded delta); it was excluded from
+	// aggregation and moved to the round's Discarded set.
+	Quarantined bool
+	UploadBytes float64
+	// LinkRetries counts failed transfer attempts this round (chaos
+	// transfer-failure injection); the airtime is included in UploadBytes.
+	LinkRetries   int
+	EagerSent     int
+	Retransmitted int
+	EagerIters    []int // iteration at which each eager transmission fired
+	RetransIters  []int // effective iterations of retransmitted layers (= Iterations)
 }
 
 // Selector is an optional Scheme extension: schemes implementing it choose

@@ -448,7 +448,7 @@ func TestEagerUploadOverlapsCompute(t *testing.T) {
 	c := tb.Clients[0]
 	net := tb.Factory()
 	ctrl := &eagerCtrl{}
-	u := fl.RunClientRound(c, net, net.FlatParams(), &w.FL, fl.RoundPlan{Deadline: fl.NoDeadline()}, ctrl, 0)
+	u := fl.RunClientRound(c, net, net.FlatParams(), &w.FL, fl.RoundPlan{Deadline: fl.NoDeadline()}, ctrl, 0, 0)
 	if u.EagerSent != 1 {
 		t.Fatalf("eager sent %d", u.EagerSent)
 	}
@@ -547,7 +547,7 @@ func TestDeltaObservedGrowsOverIterations(t *testing.T) {
 	net := tb.Factory()
 	var norms []float64
 	ctrl := &recordCtrl{norms: &norms}
-	fl.RunClientRound(c, net, net.FlatParams(), &tb.Workload.FL, fl.RoundPlan{Deadline: fl.NoDeadline()}, ctrl, 0)
+	fl.RunClientRound(c, net, net.FlatParams(), &tb.Workload.FL, fl.RoundPlan{Deadline: fl.NoDeadline()}, ctrl, 0, 0)
 	if len(norms) != tb.Workload.FL.LocalIters {
 		t.Fatalf("observed %d iterations", len(norms))
 	}

@@ -1,0 +1,80 @@
+package fl_test
+
+import (
+	"math"
+	"testing"
+
+	"fedca/internal/fl"
+)
+
+// FuzzConfigValidate throws arbitrary knob combinations at Config.Validate.
+// The contract under fuzzing: Validate never panics, and whenever it accepts
+// a config the result is fully normalized — every accepted field satisfies
+// the documented bounds, no NaN/Inf survives, and a second Validate call is
+// an accepting no-op (idempotence).
+func FuzzConfigValidate(f *testing.F) {
+	// The paper's CIFAR-10 workload plus a few adversarial shapes.
+	f.Add(125, 50, 0, 0, 0.05, 0.9, 0.01, 0.9, 0.03, 0.0, 0.0, 0.0, 1000)
+	f.Add(1, 1, 0, -3, 0.01, 0.0, 0.0, 1.0, 1e-6, 139.4e6, 1.0, 1e6, 7)
+	f.Add(0, 50, 16, 1, math.NaN(), math.Inf(1), -1.0, 1.5, -0.5, -4.0, 2.0, -1.0, 0)
+	f.Fuzz(func(t *testing.T, localIters, batchSize, evalBatch, minQuorum int,
+		lr, momentum, weightDecay, aggFrac, baseIter, modelBytes, dropProb, maxNorm float64,
+		numParams int) {
+		cfg := fl.Config{
+			LocalIters:        localIters,
+			BatchSize:         batchSize,
+			EvalBatch:         evalBatch,
+			MinQuorum:         minQuorum,
+			LR:                lr,
+			Momentum:          momentum,
+			WeightDecay:       weightDecay,
+			AggregateFraction: aggFrac,
+			BaseIterTime:      baseIter,
+			ModelBytes:        modelBytes,
+			DropoutProb:       dropProb,
+			MaxDeltaNorm:      maxNorm,
+		}
+		if err := cfg.Validate(numParams); err != nil {
+			return // rejected: nothing else to guarantee
+		}
+		// Accepted: every bound Validate claims to enforce must actually hold.
+		if cfg.LocalIters <= 0 || cfg.BatchSize <= 0 {
+			t.Fatalf("accepted non-positive iters/batch: %d/%d", cfg.LocalIters, cfg.BatchSize)
+		}
+		for name, v := range map[string]float64{
+			"LR": cfg.LR, "Momentum": cfg.Momentum, "WeightDecay": cfg.WeightDecay,
+			"AggregateFraction": cfg.AggregateFraction, "BaseIterTime": cfg.BaseIterTime,
+			"ModelBytes": cfg.ModelBytes, "DropoutProb": cfg.DropoutProb,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite %s = %v", name, v)
+			}
+		}
+		if cfg.LR <= 0 || cfg.BaseIterTime <= 0 {
+			t.Fatalf("accepted non-positive LR/BaseIterTime: %v/%v", cfg.LR, cfg.BaseIterTime)
+		}
+		if cfg.AggregateFraction <= 0 || cfg.AggregateFraction > 1 {
+			t.Fatalf("accepted AggregateFraction outside (0,1]: %v", cfg.AggregateFraction)
+		}
+		if cfg.ModelBytes < 0 {
+			t.Fatalf("accepted negative ModelBytes: %v", cfg.ModelBytes)
+		}
+		if cfg.DropoutProb < 0 || cfg.DropoutProb > 1 {
+			t.Fatalf("accepted DropoutProb outside [0,1]: %v", cfg.DropoutProb)
+		}
+		if cfg.MinQuorum < 0 {
+			t.Fatalf("MinQuorum not clamped: %d", cfg.MinQuorum)
+		}
+		if cfg.MaxDeltaNorm < 0 || math.IsNaN(cfg.MaxDeltaNorm) {
+			t.Fatalf("accepted bad MaxDeltaNorm: %v", cfg.MaxDeltaNorm)
+		}
+		// Idempotence: validating an already-validated config changes nothing.
+		before := cfg
+		if err := cfg.Validate(numParams); err != nil {
+			t.Fatalf("revalidation of accepted config failed: %v", err)
+		}
+		if cfg != before {
+			t.Fatalf("revalidation mutated config: %+v -> %+v", before, cfg)
+		}
+	})
+}

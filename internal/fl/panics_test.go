@@ -43,11 +43,11 @@ func TestClientRoundPanicsOnBadControllerOutput(t *testing.T) {
 	}
 	plan := fl.RoundPlan{Deadline: fl.NoDeadline()}
 	expectPanic(t, "eager layer out of range", func() {
-		fl.RunClientRound(c, net, net.FlatParams(), &cfg, plan, badEagerCtrl{}, 0)
+		fl.RunClientRound(c, net, net.FlatParams(), &cfg, plan, badEagerCtrl{}, 0, 0)
 	})
 	c2 := expcfg.Build(tinyWorkload(), 1, trace.Config{}, 81).Clients[0]
 	expectPanic(t, "retransmit index out of range", func() {
-		fl.RunClientRound(c2, net, net.FlatParams(), &cfg, plan, badRetransCtrl{}, 0)
+		fl.RunClientRound(c2, net, net.FlatParams(), &cfg, plan, badRetransCtrl{}, 0, 0)
 	})
 }
 
@@ -57,7 +57,7 @@ func TestClientRoundPanicsOnSizeMismatch(t *testing.T) {
 	cfg := tb.Workload.FL
 	_ = cfg.Validate(net.NumParams())
 	expectPanic(t, "global vector size mismatch", func() {
-		fl.RunClientRound(tb.Clients[0], net, make([]float64, 3), &cfg, fl.RoundPlan{Deadline: fl.NoDeadline()}, fl.NopController{}, 0)
+		fl.RunClientRound(tb.Clients[0], net, make([]float64, 3), &cfg, fl.RoundPlan{Deadline: fl.NoDeadline()}, fl.NopController{}, 0, 0)
 	})
 }
 
@@ -91,7 +91,11 @@ func TestRunnerPanicsOnBadAggregator(t *testing.T) {
 	expectPanic(t, "aggregator wrong size", func() { r.RunRound() })
 }
 
-func TestRunnerPanicsWhenAllDrop(t *testing.T) {
+// TestAllDroppedRoundSkips is the regression for the seed's panic("fl: every
+// client dropped out this round"): a round with no surviving update must be
+// recorded as skipped — model unchanged, virtual time advanced, stats
+// incremented — and the run must keep going.
+func TestAllDroppedRoundSkips(t *testing.T) {
 	w := tinyWorkload()
 	w.FL.DropoutProb = 1.0
 	tb := expcfg.Build(w, 2, trace.Config{}, 85)
@@ -99,7 +103,37 @@ func TestRunnerPanicsWhenAllDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	expectPanic(t, "every client dropped", func() { r.RunRound() })
+	before := r.GlobalFlat()
+	res := r.RunRound()
+	if !res.Skipped {
+		t.Fatal("all-dropped round must be marked Skipped")
+	}
+	if len(res.Collected) != 0 || len(res.Discarded) != 2 {
+		t.Fatalf("collected/discarded = %d/%d, want 0/2", len(res.Collected), len(res.Discarded))
+	}
+	if res.MeanIterations != 0 {
+		t.Fatalf("skipped-round means must be 0, got %v", res.MeanIterations)
+	}
+	after := r.GlobalFlat()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("skipped round must leave the global model unchanged")
+		}
+	}
+	if res.End <= res.Start {
+		t.Fatalf("virtual time must advance past the burned compute: [%v, %v]", res.Start, res.End)
+	}
+	if st := r.Stats(); st.SkippedRounds != 1 || st.Rounds != 1 || st.DroppedRounds != 2 {
+		t.Fatalf("stats = %+v, want 1 skipped / 1 round / 2 dropped client-rounds", st)
+	}
+	// The run continues: the next round executes without panicking.
+	res2 := r.RunRound()
+	if res2.Round != 1 || !res2.Skipped {
+		t.Fatalf("second round = %+v, want round 1, still skipped at p=1", res2.Round)
+	}
+	if r.Stats().SkippedRounds != 2 {
+		t.Fatal("second skipped round not counted")
+	}
 }
 
 // selectorSubset exercises the dedup path: duplicate ids collapse.

@@ -21,9 +21,27 @@ type RoundResult struct {
 	Accuracy   float64 // global model accuracy after aggregation
 	Plan       RoundPlan
 
+	// Skipped marks a round that closed without aggregating: fewer valid
+	// updates survived (dropout, quarantine) than the quorum requires. The
+	// global model is unchanged; Collected holds the below-quorum survivors.
+	Skipped bool
+	// Quarantined counts updates that arrived but failed validation; they
+	// sit in Discarded with Update.Quarantined set.
+	Quarantined int
+
 	MeanIterations float64
 	MeanEagerSent  float64
 	MeanRetrans    float64
+}
+
+// RunnerStats aggregates the run's degradation events. Snapshot via
+// Runner.Stats, safe to poll from any goroutine while rounds execute.
+type RunnerStats struct {
+	Rounds        int // rounds completed (including skipped)
+	SkippedRounds int // rounds closed without aggregation (below quorum)
+	Quarantined   int // updates rejected by validation
+	DroppedRounds int // client-rounds lost to mid-round dropout
+	LinkRetries   int // failed transfer attempts that were retransmitted
 }
 
 // Duration returns the round's virtual wall time.
@@ -45,6 +63,11 @@ type Runner struct {
 	aggBuf  []float64       // reusable accumulator of the weighted reduce
 	round   int
 	now     float64
+
+	// statsMu guards stats: the round loop updates it serially, but monitors
+	// may poll Stats from other goroutines while a round runs.
+	statsMu sync.Mutex
+	stats   RunnerStats
 }
 
 // NewRunner wires a runner. factory must build fresh identically-shaped
@@ -99,6 +122,14 @@ func (r *Runner) Now() float64 { return r.now }
 
 // Round returns the number of completed rounds.
 func (r *Runner) Round() int { return r.round }
+
+// Stats snapshots the run's degradation counters. Safe to call from any
+// goroutine, including while RunRound executes.
+func (r *Runner) Stats() RunnerStats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
 
 // RunRound executes one full round and returns its result.
 func (r *Runner) RunRound() RoundResult {
@@ -158,7 +189,7 @@ func (r *Runner) RunRound() RoundResult {
 				if i >= len(participants) {
 					return
 				}
-				updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], start, bufs)
+				updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs)
 			}
 		}(r.workers[w], r.bufs[w])
 	}
@@ -191,31 +222,72 @@ func (r *Runner) RunRound() RoundResult {
 			discarded = append(discarded, updates[oi])
 		}
 	}
-	if len(collected) == 0 {
-		panic("fl: every client dropped out this round; lower Config.DropoutProb")
-	}
-	end := collected[len(collected)-1].CompletionTime
 
-	// Aggregation: schemes implementing Aggregator replace the default
-	// weighted FedAvg mean (e.g. SAFA-style stale-update reuse).
-	_, customAgg := r.Scheme.(Aggregator)
-	if agg, ok := r.Scheme.(Aggregator); ok {
-		r.flat = agg.Aggregate(r.round, r.flat, collected, discarded)
-		if len(r.flat) != r.global.NumParams() {
-			panic("fl: aggregator returned a wrong-sized parameter vector")
-		}
+	// The round closes when the last collected update arrives. With no
+	// survivors at all, it closes when the last client vanished (its burned
+	// compute time) so virtual time still advances.
+	end := start
+	if len(collected) > 0 {
+		end = collected[len(collected)-1].CompletionTime
 	} else {
-		var totalW float64
-		for _, u := range collected {
-			totalW += u.Weight
+		for _, u := range updates {
+			if t := start + u.TrainTime; t > end {
+				end = t
+			}
 		}
-		if len(r.aggBuf) != len(r.flat) {
-			r.aggBuf = make([]float64, len(r.flat))
-		}
-		weightedReduce(r.flat, r.aggBuf, collected, totalW, len(r.workers))
 	}
-	r.global.SetFlatParams(r.flat)
 
+	// Update validation: quarantine deltas no sane server would aggregate —
+	// any non-finite coordinate, or (when bounded) an exploded norm. The
+	// quarantined update stays visible in Discarded.
+	quarantined := 0
+	if r.Cfg.ValidateUpdates || r.Cfg.Chaos != nil {
+		valid := collected[:0]
+		for _, u := range collected {
+			if deltaValid(u.Delta, r.Cfg.MaxDeltaNorm) {
+				valid = append(valid, u)
+			} else {
+				u.Quarantined = true
+				discarded = append(discarded, u)
+				quarantined++
+			}
+		}
+		collected = valid
+	}
+
+	// Graceful degradation: a round with fewer valid survivors than the
+	// quorum is skipped-and-recorded — the model stays as it is and the run
+	// continues — instead of panicking the whole simulation away.
+	quorum := r.Cfg.MinQuorum
+	if quorum < 1 {
+		quorum = 1
+	}
+	skipped := len(collected) < quorum
+
+	if !skipped {
+		// Aggregation: schemes implementing Aggregator replace the default
+		// weighted FedAvg mean (e.g. SAFA-style stale-update reuse).
+		if agg, ok := r.Scheme.(Aggregator); ok {
+			r.flat = agg.Aggregate(r.round, r.flat, collected, discarded)
+			if len(r.flat) != r.global.NumParams() {
+				panic("fl: aggregator returned a wrong-sized parameter vector")
+			}
+		} else {
+			var totalW float64
+			for _, u := range collected {
+				totalW += u.Weight
+			}
+			if len(r.aggBuf) != len(r.flat) {
+				r.aggBuf = make([]float64, len(r.flat))
+			}
+			weightedReduce(r.flat, r.aggBuf, collected, totalW, len(r.workers))
+		}
+		r.global.SetFlatParams(r.flat)
+	}
+	_, customAgg := r.Scheme.(Aggregator)
+
+	// Timing estimates stay fresh even on skipped rounds: the survivors'
+	// updates really arrived. Quarantined updates are distrusted entirely.
 	for _, u := range collected {
 		r.Hist.Observe(u)
 	}
@@ -239,30 +311,67 @@ func (r *Runner) RunRound() RoundResult {
 	}
 
 	res := RoundResult{
-		Round:     r.round,
-		Start:     start,
-		End:       end,
-		Collected: collected,
-		Discarded: discarded,
-		Plan:      plan,
+		Round:       r.round,
+		Start:       start,
+		End:         end,
+		Collected:   collected,
+		Discarded:   discarded,
+		Plan:        plan,
+		Skipped:     skipped,
+		Quarantined: quarantined,
 	}
 	var sumIter, sumEager, sumRetr float64
+	dropped, linkRetries := 0, 0
 	for _, u := range collected {
 		sumIter += float64(u.Iterations)
 		sumEager += float64(u.EagerSent)
 		sumRetr += float64(u.Retransmitted)
+		linkRetries += u.LinkRetries
 	}
-	n := float64(len(collected))
-	res.MeanIterations = sumIter / n
-	res.MeanEagerSent = sumEager / n
-	res.MeanRetrans = sumRetr / n
+	for _, u := range discarded {
+		linkRetries += u.LinkRetries
+		if u.Dropped {
+			dropped++
+		}
+	}
+	if n := float64(len(collected)); n > 0 {
+		res.MeanIterations = sumIter / n
+		res.MeanEagerSent = sumEager / n
+		res.MeanRetrans = sumRetr / n
+	}
 	if r.Test != nil {
 		res.Accuracy = Evaluate(r.global, r.Test, r.Cfg.EvalBatch)
 	}
 
+	r.statsMu.Lock()
+	r.stats.Rounds++
+	if skipped {
+		r.stats.SkippedRounds++
+	}
+	r.stats.Quarantined += quarantined
+	r.stats.DroppedRounds += dropped
+	r.stats.LinkRetries += linkRetries
+	r.statsMu.Unlock()
+
 	r.round++
 	r.now = end
 	return res
+}
+
+// deltaValid reports whether an update vector may enter aggregation: every
+// coordinate finite, and the L2 norm within maxNorm when bounded.
+func deltaValid(delta []float64, maxNorm float64) bool {
+	var sumsq float64
+	for _, v := range delta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		sumsq += v * v
+	}
+	if math.IsInf(sumsq, 0) {
+		return false
+	}
+	return maxNorm <= 0 || sumsq <= maxNorm*maxNorm
 }
 
 // RunUntil runs rounds until the accuracy target is reached (maxRounds as a

@@ -38,6 +38,12 @@ type Record struct {
 	MeanEagerSent  float64 `json:"mean_eager_sent,omitempty"`
 	MeanRetrans    float64 `json:"mean_retrans,omitempty"`
 	UploadBytes    float64 `json:"upload_bytes"`
+
+	// Degradation telemetry (zero-valued fields are omitted so fault-free
+	// logs look exactly like they used to).
+	Skipped     bool `json:"skipped,omitempty"`     // round closed without aggregating
+	Quarantined int  `json:"quarantined,omitempty"` // updates rejected by validation
+	LinkRetries int  `json:"link_retries,omitempty"`
 }
 
 // FromRoundResult converts a round result into a loggable record.
@@ -54,11 +60,15 @@ func FromRoundResult(r fl.RoundResult) Record {
 		MeanEagerSent:  r.MeanEagerSent,
 		MeanRetrans:    r.MeanRetrans,
 	}
+	rec.Skipped = r.Skipped
+	rec.Quarantined = r.Quarantined
 	for _, u := range r.Collected {
 		rec.UploadBytes += u.UploadBytes
+		rec.LinkRetries += u.LinkRetries
 	}
 	for _, u := range r.Discarded {
 		rec.UploadBytes += u.UploadBytes
+		rec.LinkRetries += u.LinkRetries
 		if u.Dropped {
 			rec.Dropped++
 		}
@@ -93,6 +103,13 @@ func (w *Writer) WriteHeader(h Header) error {
 // WriteRound emits one round record.
 func (w *Writer) WriteRound(r fl.RoundResult) error {
 	return w.emit(FromRoundResult(r))
+}
+
+// WriteRecord emits an already-built round record (e.g. replaying a parsed
+// log). The kind tag is forced to "round".
+func (w *Writer) WriteRecord(r Record) error {
+	r.Kind = "round"
+	return w.emit(r)
 }
 
 func (w *Writer) emit(v interface{}) error {

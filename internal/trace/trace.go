@@ -136,6 +136,17 @@ func (m *SpeedModel) IterDuration(base, t float64) float64 {
 	return base * m.Static * m.DynamicFactorAt(t)
 }
 
+// IterDurationWith is IterDuration with one more multiplicative slowdown
+// layered on top of the static and dynamic factors — the hook fault
+// injection (internal/chaos transient slowdowns) uses to stack on the
+// trace's own dynamics. extra = 1 reproduces IterDuration bit-for-bit.
+func (m *SpeedModel) IterDurationWith(base, t, extra float64) float64 {
+	if extra < 0 {
+		panic("trace: extra slowdown factor must be non-negative")
+	}
+	return base * m.Static * m.DynamicFactorAt(t) * extra
+}
+
 // ExpectedFactor returns the long-run mean total slowdown (static × expected
 // dynamic factor), useful for capacity estimates and tests.
 func (m *SpeedModel) ExpectedFactor() float64 {

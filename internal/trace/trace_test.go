@@ -150,3 +150,23 @@ func BenchmarkDynamicFactorAt(b *testing.B) {
 		m.DynamicFactorAt(float64(i % 100000))
 	}
 }
+
+// TestIterDurationWith: the layered variant stacks multiplicatively on the
+// trace's own factors and reproduces IterDuration exactly at extra = 1.
+func TestIterDurationWith(t *testing.T) {
+	m := NewSpeedModel(2, PaperConfig(), rng.New(9))
+	for _, tm := range []float64{0, 3.7, 55, 200} {
+		if m.IterDurationWith(0.1, tm, 1) != m.IterDuration(0.1, tm) {
+			t.Fatalf("extra=1 must be bit-identical to IterDuration at t=%v", tm)
+		}
+		if got, want := m.IterDurationWith(0.1, tm, 3), m.IterDuration(0.1, tm)*3; got != want {
+			t.Fatalf("extra=3 at t=%v: got %v, want %v", tm, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative extra factor must panic")
+		}
+	}()
+	m.IterDurationWith(0.1, 0, -1)
+}
