@@ -7,11 +7,19 @@
 //	fedca-sim -model cnn -scheme fedca -clients 32 -rounds 50
 //	fedca-sim -model wrn -scheme fedavg -scale tiny -seed 7
 //	fedca-sim -scheme fedavg -compress qsgd7 -log run.jsonl
+//	fedca-sim -scheme fedca -http :8080 -trace run-trace.json
+//
+// With -http the run serves live introspection while it executes: /metrics
+// (Prometheus text format), /status (current round, runner and scheme stats
+// as JSON) and /debug/pprof. With -trace it writes the whole run as Chrome
+// trace-event JSON keyed on virtual sim time — open it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"fedca/internal/baseline"
@@ -23,6 +31,7 @@ import (
 	"fedca/internal/fl"
 	"fedca/internal/rng"
 	"fedca/internal/runlog"
+	"fedca/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +47,8 @@ func main() {
 	minQuorum := flag.Int("quorum", 0, "minimum valid updates to aggregate a round (0 = 1); thinner rounds are skipped, not fatal")
 	maxNorm := flag.Float64("maxnorm", 0, "quarantine updates whose L2 norm exceeds this (0 = no bound)")
 	logPath := flag.String("log", "", "write a JSON-lines run log to this path")
+	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /status, /debug/pprof)")
+	tracePath := flag.String("trace", "", "write the run as Chrome trace-event JSON to this path (open in Perfetto)")
 	flag.Parse()
 
 	scale, err := experiments.ScaleByName(*scaleName)
@@ -76,6 +87,14 @@ func main() {
 	w.FL.MinQuorum = *minQuorum
 	w.FL.MaxDeltaNorm = *maxNorm
 
+	// Telemetry: one sink feeds both the HTTP surface and the trace export.
+	// It is deterministically inert, so attaching it never changes the run.
+	var sink *telemetry.Sink
+	if *httpAddr != "" || *tracePath != "" {
+		sink = telemetry.New()
+		w.FL.Telemetry = sink
+	}
+
 	var sch fl.Scheme
 	var fedca *core.Scheme
 	switch *scheme {
@@ -100,6 +119,7 @@ func main() {
 			opt = core.V2Options(w.FL.LocalIters)
 		}
 		fedca = core.NewScheme(opt, rng.New(*seed).Fork("scheme"))
+		fedca.SetTelemetry(sink)
 		sch = fedca
 	default:
 		fail(fmt.Errorf("unknown scheme %q", *scheme))
@@ -110,6 +130,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *httpAddr != "" {
+		mux := telemetry.NewMux(sink, statusFunc(runner, fedca, sink))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "fedca-sim: http:", err)
+			}
+		}()
+		fmt.Printf("telemetry: serving /metrics, /status and /debug/pprof on %s\n", *httpAddr)
+	}
 	var logw *runlog.Writer
 	if *logPath != "" {
 		logw, err = runlog.Create(*logPath)
@@ -117,10 +146,18 @@ func main() {
 			fail(err)
 		}
 		defer logw.Close()
-		if err := logw.WriteHeader(runlog.Header{
+		hdr := runlog.Header{
 			Model: *model, Scheme: *scheme, Clients: scale.Clients,
 			K: w.FL.LocalIters, Seed: *seed, Alpha: w.Alpha,
-		}); err != nil {
+			Quorum: *minQuorum, MaxNorm: *maxNorm,
+		}
+		if ccfg.Enabled() {
+			hdr.Chaos = ccfg.Spec()
+		}
+		if _, isNone := comp.(compress.None); !isNone {
+			hdr.Compress = comp.Name()
+		}
+		if err := logw.WriteHeader(hdr); err != nil {
 			fail(err)
 		}
 	}
@@ -153,6 +190,46 @@ func main() {
 		st := runner.Stats()
 		fmt.Printf("degradation: skipped-rounds=%d quarantined=%d dropped-client-rounds=%d link-retries=%d\n",
 			st.SkippedRounds, st.Quarantined, st.DroppedRounds, st.LinkRetries)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.Tracer().WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: wrote %d events to %s (open in https://ui.perfetto.dev)\n", sink.Tracer().Len(), *tracePath)
+	}
+}
+
+// statusFunc builds the /status snapshot closure. Everything it touches is
+// safe to read while RunRound executes on the main goroutine: runner stats
+// and scheme stats snapshot under their own locks, and the sink gauges are
+// atomic.
+func statusFunc(runner *fl.Runner, fedca *core.Scheme, sink *telemetry.Sink) func() any {
+	type status struct {
+		Round       float64           `json:"round"`
+		VirtualTime float64           `json:"virtual_time_seconds"`
+		Accuracy    float64           `json:"accuracy"`
+		Runner      fl.RunnerStats    `json:"runner"`
+		FedCA       *core.SchemeStats `json:"fedca,omitempty"`
+	}
+	return func() any {
+		st := status{
+			Round:       sink.Round.Value(),
+			VirtualTime: sink.VirtualTime.Value(),
+			Accuracy:    sink.Accuracy.Value(),
+			Runner:      runner.Stats(),
+		}
+		if fedca != nil {
+			s := fedca.Stats()
+			st.FedCA = &s
+		}
+		return st
 	}
 }
 

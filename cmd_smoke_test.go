@@ -1,11 +1,14 @@
 package fedca_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fedca/internal/runlog"
 )
 
 // TestCommandSmoke builds every binary and exercises the happy paths:
@@ -36,6 +39,61 @@ func TestCommandSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "round") {
 		t.Fatalf("fedca-sim output unexpected:\n%s", out)
+	}
+
+	// A degraded run with telemetry: the trace must come out as structurally
+	// valid Chrome trace-event JSON and the log header must carry the full
+	// reproduction recipe (chaos spec, quorum, norm bound, compressor).
+	tracePath := filepath.Join(dir, "run-trace.json")
+	chaosLog := filepath.Join(dir, "chaos.jsonl")
+	sim = exec.Command(bins["fedca-sim"], "-model", "cnn", "-scheme", "fedca",
+		"-scale", "tiny", "-clients", "2", "-rounds", "2",
+		"-chaos", "drop=0.2,slow=0.3", "-quorum", "1", "-maxnorm", "1e6",
+		"-compress", "qsgd7", "-log", chaosLog, "-trace", tracePath)
+	if out, err := sim.CombinedOutput(); err != nil {
+		t.Fatalf("fedca-sim -trace: %v\n%s", err, out)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(traceData, &tr); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 || tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("trace structurally wrong: %d events, unit %q", len(tr.TraceEvents), tr.DisplayTimeUnit)
+	}
+	sawRound, sawClientTrack := false, false
+	for i, e := range tr.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" && e.Ph != "M" {
+			t.Fatalf("trace event %d: unexpected phase %q", i, e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Fatalf("trace event %d: negative ts/dur: %+v", i, e)
+		}
+		sawRound = sawRound || e.Name == "round"
+		sawClientTrack = sawClientTrack || e.TID > 0
+	}
+	if !sawRound || !sawClientTrack {
+		t.Fatalf("trace missing round span (%v) or client tracks (%v)", sawRound, sawClientTrack)
+	}
+	run, err := runlog.Open(chaosLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Header.Chaos == "" || run.Header.Quorum != 1 ||
+		run.Header.MaxNorm != 1e6 || run.Header.Compress != "qsgd7" {
+		t.Fatalf("log header missing reproduction fields: %+v", run.Header)
 	}
 
 	list, err := exec.Command(bins["fedca-bench"], "-list").CombinedOutput()

@@ -6,6 +6,8 @@ package fedca
 
 import (
 	"fmt"
+	"net/http"
+	"sync"
 
 	"fedca/internal/baseline"
 	"fedca/internal/chaos"
@@ -15,8 +17,28 @@ import (
 	"fedca/internal/fl"
 	"fedca/internal/metrics"
 	"fedca/internal/rng"
+	"fedca/internal/telemetry"
 	"fedca/internal/trace"
 )
+
+// Telemetry is the live observability sink of a run: a metrics registry
+// (Prometheus text format and JSON), a span tracer keyed on virtual sim time
+// (Chrome trace-event export for Perfetto), and the building block of the
+// HTTP introspection surface (see NewTelemetryMux). Telemetry is
+// deterministically inert: attaching a sink never changes a run's results,
+// timings or random draws.
+type Telemetry = telemetry.Sink
+
+// NewTelemetry builds an enabled telemetry sink to set as Options.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTelemetryMux builds an http.Handler serving the sink's live
+// introspection surface: /metrics (Prometheus text format), /metrics.json,
+// /status (the federation's Snapshot) and /debug/pprof. Safe to serve while
+// rounds run.
+func NewTelemetryMux(t *Telemetry, f *Federation) http.Handler {
+	return telemetry.NewMux(t, func() any { return f.Snapshot() })
+}
 
 // Options configures a Federation. The zero value is not valid; start from
 // DefaultOptions.
@@ -69,6 +91,11 @@ type Options struct {
 	// exceeds it (exploded deltas) before aggregation.
 	MaxDeltaNorm float64
 
+	// Telemetry, when non-nil, receives the run's live metrics and
+	// virtual-time spans (build one with NewTelemetry). Nil disables
+	// observability at zero cost; enabling it never changes a run.
+	Telemetry *Telemetry
+
 	// FedCA carries the FedCA hyperparameters (ignored by other schemes).
 	FedCA core.Options
 }
@@ -115,6 +142,11 @@ type Federation struct {
 	runner  *fl.Runner
 	fedca   *core.Scheme
 	results []fl.RoundResult
+
+	// lastMu guards lastRound so Snapshot can be polled from a monitoring
+	// goroutine while RunRound executes on the driving one.
+	lastMu    sync.Mutex
+	lastRound Round
 }
 
 // New assembles a federation from options.
@@ -158,6 +190,7 @@ func New(opts Options) (*Federation, error) {
 	}
 	w.FL.MinQuorum = opts.MinQuorum
 	w.FL.MaxDeltaNorm = opts.MaxDeltaNorm
+	w.FL.Telemetry = opts.Telemetry
 	comp, err := compress.ByName(opts.Compress)
 	if err != nil {
 		return nil, err
@@ -201,6 +234,7 @@ func New(opts Options) (*Federation, error) {
 			o.Eager, o.Retransmit = true, false
 		}
 		fedcaScheme = core.NewScheme(o, rng.New(opts.Seed).Fork("scheme"))
+		fedcaScheme.SetTelemetry(opts.Telemetry)
 		scheme = fedcaScheme
 	default:
 		return nil, fmt.Errorf("fedca: unknown scheme %q", opts.Scheme)
@@ -218,7 +252,11 @@ func New(opts Options) (*Federation, error) {
 func (f *Federation) RunRound() Round {
 	res := f.runner.RunRound()
 	f.results = append(f.results, res)
-	return toRound(res)
+	r := toRound(res)
+	f.lastMu.Lock()
+	f.lastRound = r
+	f.lastMu.Unlock()
+	return r
 }
 
 // Run executes n rounds and returns them.
@@ -234,9 +272,7 @@ func (f *Federation) Run(n int) []Round {
 // or maxRounds elapse, and reports the Table 1-style summary.
 func (f *Federation) RunToAccuracy(target float64, maxRounds int) Convergence {
 	for i := 0; i < maxRounds; i++ {
-		res := f.runner.RunRound()
-		f.results = append(f.results, res)
-		if res.Accuracy >= target {
+		if r := f.RunRound(); r.Accuracy >= target {
 			break
 		}
 	}
@@ -299,6 +335,44 @@ func (f *Federation) FedCAStats() (stats core.SchemeStats, ok bool) {
 // retransmissions. Like FedCAStats, it is safe to poll from another
 // goroutine while RunRound executes.
 func (f *Federation) DegradationStats() fl.RunnerStats { return f.runner.Stats() }
+
+// Snapshot is the live status of a federation, JSON-ready for an
+// introspection endpoint.
+type Snapshot struct {
+	// Round is the number of completed rounds (including skipped ones).
+	Round int `json:"round"`
+	// VirtualTime is the end of the last completed round, in virtual seconds.
+	VirtualTime float64 `json:"virtual_time_seconds"`
+	// Accuracy is the global model's accuracy after the last aggregation.
+	Accuracy float64 `json:"accuracy"`
+	// Degradation aggregates skipped rounds, quarantines, dropouts and link
+	// retries over the whole run.
+	Degradation fl.RunnerStats `json:"degradation"`
+	// FedCA carries the scheme's behavioural counters; nil for non-FedCA
+	// schemes.
+	FedCA *core.SchemeStats `json:"fedca,omitempty"`
+}
+
+// Snapshot reports the federation's current status. Unlike Rounds and
+// Accuracy it is safe to call from a monitoring goroutine while RunRound
+// executes — a live /status endpoint polls it (see NewTelemetryMux).
+func (f *Federation) Snapshot() Snapshot {
+	f.lastMu.Lock()
+	last := f.lastRound
+	f.lastMu.Unlock()
+	st := f.runner.Stats()
+	snap := Snapshot{
+		Round:       st.Rounds,
+		VirtualTime: last.End,
+		Accuracy:    last.Accuracy,
+		Degradation: st,
+	}
+	if f.fedca != nil {
+		st := f.fedca.Stats()
+		snap.FedCA = &st
+	}
+	return snap
+}
 
 func toRound(res fl.RoundResult) Round {
 	dropped := 0

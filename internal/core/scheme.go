@@ -7,6 +7,7 @@ import (
 
 	"fedca/internal/fl"
 	"fedca/internal/rng"
+	"fedca/internal/telemetry"
 )
 
 // Options are FedCA's hyperparameters (paper Sec. 5.1 defaults via
@@ -97,19 +98,23 @@ type Scheme struct {
 	// NewController's AnchorRounds bump — must hold the mutex.
 	statsMu sync.Mutex
 	stats   SchemeStats
+
+	// tel mirrors the behavioural stats into live telemetry counters.
+	// Set once before the run (SetTelemetry); nil disables mirroring.
+	tel *telemetry.Sink
 }
 
 // SchemeStats aggregates FedCA's runtime behaviour over a run.
 type SchemeStats struct {
-	EarlyStopIters   []int // iteration at which each early stop fired
-	FullRounds       int   // client-rounds that ran to the full budget
-	EagerIters       []int // iteration of each standing eager transmission
-	RetransmitIters  []int // effective iteration of each retransmitted layer
-	AnchorRounds     int   // client-rounds spent profiling
-	EagerSentTotal   int
-	RetransmitsTotal int
-	DroppedRounds    int // client-rounds lost to mid-round dropout
-	AnchorAborts     int // anchor recordings abandoned because the client dropped
+	EarlyStopIters   []int `json:"early_stop_iters,omitempty"` // iteration at which each early stop fired
+	FullRounds       int   `json:"full_rounds"`                // client-rounds that ran to the full budget
+	EagerIters       []int `json:"eager_iters,omitempty"`      // iteration of each standing eager transmission
+	RetransmitIters  []int `json:"retransmit_iters,omitempty"` // effective iteration of each retransmitted layer
+	AnchorRounds     int   `json:"anchor_rounds"`              // client-rounds spent profiling
+	EagerSentTotal   int   `json:"eager_sent_total"`
+	RetransmitsTotal int   `json:"retransmits_total"`
+	DroppedRounds    int   `json:"dropped_rounds"` // client-rounds lost to mid-round dropout
+	AnchorAborts     int   `json:"anchor_aborts"`  // anchor recordings abandoned because the client dropped
 }
 
 // NewScheme builds a FedCA scheme. r seeds the per-client sampling choices.
@@ -139,6 +144,11 @@ func (s *Scheme) Name() string {
 		return "fedca-custom"
 	}
 }
+
+// SetTelemetry attaches a telemetry sink: scheme behaviour (early stops,
+// eager transmissions, retransmissions, anchor activity) is mirrored into its
+// counters as it happens. Call before the run starts; a nil sink is fine.
+func (s *Scheme) SetTelemetry(t *telemetry.Sink) { s.tel = t }
 
 // Stats returns a snapshot of the accumulated behavioural statistics. It is
 // safe to call from any goroutine, including while a round is executing.
@@ -227,6 +237,9 @@ func (s *Scheme) NewController(c *fl.Client, round int, plan fl.RoundPlan) fl.Co
 		s.statsMu.Lock()
 		s.stats.AnchorRounds++
 		s.statsMu.Unlock()
+		if s.tel != nil {
+			s.tel.AnchorRounds.Inc()
+		}
 	}
 	return &controller{s: s, prof: p, anchor: anchor, deadline: plan.Deadline}
 }
@@ -309,6 +322,9 @@ func (c *controller) AfterIteration(st fl.IterState) fl.IterAction {
 func (c *controller) OnDropout(iter int) {
 	if c.anchor {
 		c.prof.AbortAnchor()
+		if c.s.tel != nil {
+			c.s.tel.AnchorAborts.Inc()
+		}
 	}
 	c.s.statsMu.Lock()
 	defer c.s.statsMu.Unlock()
@@ -325,14 +341,15 @@ func (c *controller) Finalize(st fl.FinalState) fl.FinalAction {
 		c.prof.FinishAnchor()
 		return fl.FinalAction{}
 	}
+	tel := c.s.tel
 	c.s.statsMu.Lock()
-	defer c.s.statsMu.Unlock()
 	if c.stopped {
 		c.s.stats.EarlyStopIters = append(c.s.stats.EarlyStopIters, c.stopIter)
 	} else {
 		c.s.stats.FullRounds++
 	}
 	var action fl.FinalAction
+	retransmits := 0
 	for ei, rec := range st.Eager {
 		c.s.stats.EagerSentTotal++
 		rg := st.Ranges[rec.Layer]
@@ -341,9 +358,20 @@ func (c *controller) Finalize(st fl.FinalState) fl.FinalAction {
 			action.Retransmit = append(action.Retransmit, ei)
 			c.s.stats.RetransmitsTotal++
 			c.s.stats.RetransmitIters = append(c.s.stats.RetransmitIters, st.Iterations)
+			retransmits++
 		} else {
 			c.s.stats.EagerIters = append(c.s.stats.EagerIters, rec.Iter)
 		}
+	}
+	c.s.statsMu.Unlock()
+	if tel != nil {
+		if c.stopped {
+			tel.EarlyStops.Inc()
+		} else {
+			tel.FullRounds.Inc()
+		}
+		tel.EagerTx.Add(float64(len(st.Eager)))
+		tel.Retransmits.Add(float64(retransmits))
 	}
 	return action
 }

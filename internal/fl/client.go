@@ -5,7 +5,9 @@ import (
 	"math"
 	"sync"
 
+	"fedca/internal/chaos"
 	"fedca/internal/nn"
+	"fedca/internal/telemetry"
 )
 
 // deltaPool recycles the NumParams-sized vectors handed to the server as
@@ -78,10 +80,10 @@ func (b *RoundBuffers) outDelta(n int) []float64 {
 // contract. This exported variant allocates its own buffers; the runner's
 // workers pass reusable ones through runClientRound.
 func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64) Update {
-	return runClientRound(c, net, globalFlat, cfg, plan, ctrl, round, roundStart, nil)
+	return runClientRound(c, net, globalFlat, cfg, plan, ctrl, round, roundStart, nil, false)
 }
 
-func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers) Update {
+func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers, anchor bool) Update {
 	ranges := net.ParamRanges()
 	if len(globalFlat) != net.NumParams() {
 		panic(fmt.Sprintf("fl: global vector size %d != model params %d", len(globalFlat), net.NumParams()))
@@ -170,7 +172,9 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		ctrl.ModifyGrad(params, globalFlat)
 		opt.Step(params)
 
-		now += c.Speed.IterDurationWith(cfg.BaseIterTime, now, cplan.ComputeFactor(iter))
+		dt := c.Speed.IterDurationWith(cfg.BaseIterTime, now, cplan.ComputeFactor(iter))
+		now += dt
+		cfg.Telemetry.ObserveIteration(dt)
 		iters = iter
 
 		if iter == dropAt {
@@ -182,6 +186,9 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 			// sees a partial layer (Delta stays nil).
 			if d, ok := ctrl.(DropoutObserver); ok {
 				d.OnDropout(iters)
+			}
+			if t := cfg.Telemetry; t != nil {
+				emitClientSpans(t, c, anchor, roundStart, tDown, trainStart, now, math.NaN(), iters, eager, cplan, true)
 			}
 			return Update{
 				ClientID:       c.ID,
@@ -283,6 +290,9 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	// overlays and compression, so the server decodes exactly the damage.
 	cplan.CorruptDelta(serverDelta)
 	_, completion := c.Up.TransferAttempts(now, finalBytes, cplan.Attempts())
+	if t := cfg.Telemetry; t != nil {
+		emitClientSpans(t, c, anchor, roundStart, tDown, trainStart, now, completion, iters, eager, cplan, false)
+	}
 
 	var eagerIters, retransIters []int
 	for ei, rec := range eager {
@@ -306,5 +316,83 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 		Retransmitted:  len(retrans),
 		EagerIters:     eagerIters,
 		RetransIters:   retransIters,
+	}
+}
+
+// emitClientSpans renders one finished client round onto its trace track:
+// download, local training (labelled as anchor profiling when the scheme says
+// so), eager uploads, the final upload, and the round's chaos events —
+// dropout, compute slowdowns, corruption and link impairment windows —
+// annotated onto the spans they belong to. Telemetry-only: every time it
+// touches was already computed by the simulation.
+func emitClientSpans(t *telemetry.Sink, c *Client, anchor bool, roundStart, tDown, trainStart, trainEnd, completion float64, iters int, eager []EagerRecord, cplan *chaos.Plan, dropped bool) {
+	tid := telemetry.ClientTrack(c.ID)
+	tr := t.Tracer()
+	t.ClientIters.Observe(float64(iters))
+
+	tr.Span(tid, "download", "transfer", roundStart, tDown, nil)
+
+	trainName := "local-training"
+	if anchor {
+		trainName = "anchor-profiling"
+	}
+	args := map[string]any{"iterations": iters}
+	if cplan != nil {
+		if w := cplan.Slow; w.Factor > 1 {
+			args["slow_iters"] = fmt.Sprintf("%d-%d", w.From, w.To)
+			args["slow_factor"] = w.Factor
+		}
+		if k := cplan.Corrupt; k != chaos.CorruptNone {
+			args["corrupt"] = k.String()
+		}
+	}
+	if dropped {
+		args["dropped"] = true
+		// The dropout counter is bumped by RoundDone (server-side tally);
+		// here the event is only placed on the timeline.
+		tr.Instant(tid, "dropout", "chaos", trainEnd, nil)
+		if anchor {
+			tr.Instant(tid, "anchor-abort", "chaos", trainEnd, nil)
+		}
+	}
+	tr.Span(tid, trainName, "train", trainStart, trainEnd, args)
+
+	for _, rec := range eager {
+		tr.Span(tid, fmt.Sprintf("eager-upload L%d", rec.Layer), "transfer", rec.SentAt, rec.DoneAt,
+			map[string]any{"layer": rec.Layer, "iter": rec.Iter})
+	}
+	if !dropped && !math.IsNaN(completion) {
+		tr.Span(tid, "upload", "transfer", trainEnd, completion, nil)
+	}
+
+	// Link impairment windows, clamped to the client's round activity so a
+	// whole-round degradation does not stretch the trace to +Inf.
+	if cplan != nil {
+		clamp := trainEnd
+		if !math.IsNaN(completion) && completion > clamp {
+			clamp = completion
+		}
+		emitImpairments(tr, tid, "uplink", roundStart, clamp, cplan.Up)
+		emitImpairments(tr, tid, "downlink", roundStart, clamp, cplan.Down)
+	}
+}
+
+// emitImpairments renders a link's chaos windows as spans on the client
+// track. Windows are in seconds relative to the round start.
+func emitImpairments(tr *telemetry.Tracer, tid int, link string, roundStart, clamp float64, windows []chaos.LinkWindow) {
+	for _, w := range windows {
+		from := roundStart + w.From
+		to := roundStart + w.To
+		if to > clamp {
+			to = clamp
+		}
+		if to <= from {
+			continue
+		}
+		name := link + "-degraded"
+		if w.Scale == 0 {
+			name = link + "-outage"
+		}
+		tr.Span(tid, name, "chaos", from, to, map[string]any{"scale": w.Scale})
 	}
 }

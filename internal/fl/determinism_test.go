@@ -8,6 +8,7 @@ import (
 	"fedca/internal/chaos"
 	"fedca/internal/expcfg"
 	"fedca/internal/fl"
+	"fedca/internal/telemetry"
 	"fedca/internal/trace"
 )
 
@@ -19,25 +20,31 @@ import (
 // from (seed, client, round) alone, so dropouts, slowdowns, link faults,
 // retransmissions and quarantines must also be worker-count invariant.
 func TestWorkerCountInvariance(t *testing.T) {
+	newChaos := func(t *testing.T) *chaos.Engine {
+		e, err := chaos.NewEngine(chaos.Config{
+			DropProb:     0.3,
+			SlowProb:     0.5,
+			DegradeProb:  0.3,
+			OutageProb:   0.25,
+			XferFailProb: 0.2,
+			CorruptProb:  0.25,
+		}, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
 	cases := []struct {
-		name  string
-		chaos func(t *testing.T) *chaos.Engine
+		name      string
+		chaos     func(t *testing.T) *chaos.Engine
+		telemetry bool
 	}{
-		{"plain", func(*testing.T) *chaos.Engine { return nil }},
-		{"chaos", func(t *testing.T) *chaos.Engine {
-			e, err := chaos.NewEngine(chaos.Config{
-				DropProb:     0.3,
-				SlowProb:     0.5,
-				DegradeProb:  0.3,
-				OutageProb:   0.25,
-				XferFailProb: 0.2,
-				CorruptProb:  0.25,
-			}, 17)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return e
-		}},
+		{"plain", func(*testing.T) *chaos.Engine { return nil }, false},
+		{"chaos", newChaos, false},
+		// Telemetry observes the parallel client phase from worker
+		// goroutines; the trace and metrics it gathers must not leak back
+		// into the run (see also TestTelemetryInert).
+		{"chaos+telemetry", newChaos, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -47,6 +54,9 @@ func TestWorkerCountInvariance(t *testing.T) {
 				w := tinyWorkload()
 				w.FL.Chaos = tc.chaos(t)
 				w.FL.MaxDeltaNorm = 1e6
+				if tc.telemetry {
+					w.FL.Telemetry = telemetry.New()
+				}
 				tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
 				r, err := tb.NewRunner(baseline.FedAvg{})
 				if err != nil {

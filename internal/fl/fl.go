@@ -41,6 +41,7 @@ import (
 	"fedca/internal/nn"
 	"fedca/internal/rng"
 	"fedca/internal/simnet"
+	"fedca/internal/telemetry"
 	"fedca/internal/trace"
 )
 
@@ -113,6 +114,14 @@ type Config struct {
 	// whose L2 norm exceeds it (exploded deltas). Only consulted when update
 	// validation is active.
 	MaxDeltaNorm float64
+
+	// Telemetry, when non-nil, receives live metrics and virtual-time spans
+	// of the run: round and per-client spans, iteration/transfer/round
+	// duration histograms, degradation counters and link traffic. Telemetry
+	// is observational only — it consumes no RNG draws and performs no
+	// virtual-time arithmetic — so enabling it never changes a run
+	// (TestTelemetryInert). Nil disables it at zero cost.
+	Telemetry *telemetry.Sink
 }
 
 // Validate applies defaults and rejects nonsense.

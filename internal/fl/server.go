@@ -9,6 +9,7 @@ import (
 
 	"fedca/internal/data"
 	"fedca/internal/nn"
+	"fedca/internal/telemetry"
 	"fedca/internal/tensor"
 )
 
@@ -37,11 +38,11 @@ type RoundResult struct {
 // RunnerStats aggregates the run's degradation events. Snapshot via
 // Runner.Stats, safe to poll from any goroutine while rounds execute.
 type RunnerStats struct {
-	Rounds        int // rounds completed (including skipped)
-	SkippedRounds int // rounds closed without aggregation (below quorum)
-	Quarantined   int // updates rejected by validation
-	DroppedRounds int // client-rounds lost to mid-round dropout
-	LinkRetries   int // failed transfer attempts that were retransmitted
+	Rounds        int `json:"rounds"`         // rounds completed (including skipped)
+	SkippedRounds int `json:"skipped_rounds"` // rounds closed without aggregation (below quorum)
+	Quarantined   int `json:"quarantined"`    // updates rejected by validation
+	DroppedRounds int `json:"dropped_rounds"` // client-rounds lost to mid-round dropout
+	LinkRetries   int `json:"link_retries"`   // failed transfer attempts that were retransmitted
 }
 
 // Duration returns the round's virtual wall time.
@@ -91,6 +92,16 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 	for i := range workers {
 		workers[i] = factory()
 		bufs[i] = &RoundBuffers{pool: pool}
+	}
+	if t := cfg.Telemetry; t != nil {
+		// Observe every client link and name the trace tracks. Observers are
+		// passive (simnet.TransferObserver), so the links' arithmetic — and
+		// therefore the run — is unchanged.
+		for _, c := range clients {
+			c.Up.Observer = t.UpObserver()
+			c.Down.Observer = t.DownObserver()
+			t.Tracer().NameTrack(telemetry.ClientTrack(c.ID), fmt.Sprintf("client %d", c.ID))
+		}
 	}
 	return &Runner{
 		Cfg:     cfg,
@@ -170,6 +181,13 @@ func (r *Runner) RunRound() RoundResult {
 		ctrls[i] = r.Scheme.NewController(c, r.round, plan)
 	}
 
+	// Anchor detection is telemetry-only: schemes exposing IsAnchorRound
+	// (FedCA) get their profiling client-rounds labelled in the trace.
+	anchor := false
+	if a, ok := r.Scheme.(interface{ IsAnchorRound(int) bool }); ok {
+		anchor = a.IsAnchorRound(r.round)
+	}
+
 	// Clients run in parallel; each worker owns one network and one scratch
 	// buffer set. Results land in a slice indexed by participant, so the
 	// outcome is order-independent.
@@ -189,7 +207,7 @@ func (r *Runner) RunRound() RoundResult {
 				if i >= len(participants) {
 					return
 				}
-				updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs)
+				updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs, anchor)
 			}
 		}(r.workers[w], r.bufs[w])
 	}
@@ -352,6 +370,8 @@ func (r *Runner) RunRound() RoundResult {
 	r.stats.DroppedRounds += dropped
 	r.stats.LinkRetries += linkRetries
 	r.statsMu.Unlock()
+
+	r.Cfg.Telemetry.RoundDone(r.round, start, end, res.Accuracy, len(collected), quarantined, dropped, skipped)
 
 	r.round++
 	r.now = end

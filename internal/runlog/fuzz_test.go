@@ -16,6 +16,9 @@ func FuzzReadRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"kind":"header","model":"cnn","scheme":"fedca","clients":100,"k":10,"seed":42,"alpha":0.5}
 {"kind":"round","round":0,"start":0,"end":12.5,"accuracy":0.31,"collected":9,"discarded":1,"dropped":1,"mean_iterations":125,"upload_bytes":1394000}
 {"kind":"round","round":1,"start":12.5,"end":30.25,"accuracy":0.38,"collected":10,"discarded":0,"mean_iterations":120.5,"mean_eager_sent":1.5,"mean_retrans":0.25,"upload_bytes":2e6,"skipped":true,"quarantined":2,"link_retries":3}`))
+	f.Add([]byte(`{"kind":"header","model":"wrn","scheme":"fedavg","clients":32,"k":50,"seed":7,"alpha":0.1,"chaos":"drop=0.1,slow=0.3,degrade=0.2,outage=0.05,xfail=0.02,corrupt=0.01","quorum":5,"max_norm":12.5,"compress":"qsgd7"}
+{"kind":"round","round":0,"start":0,"end":40,"accuracy":0.2,"collected":4,"discarded":28,"skipped":true}`))
+	f.Add([]byte(`{"kind":"header","model":"cnn","scheme":"fedca","clients":8,"k":10,"seed":1,"alpha":0.5,"max_norm":1e6}`))
 	f.Add([]byte(`{"kind":"round","round":3,"end":1e-300,"accuracy":0.999999999999}`))
 	f.Add([]byte("\n\n"))
 	f.Add([]byte(`{"kind":"bogus"}`))

@@ -13,7 +13,10 @@ import (
 	"fedca/internal/fl"
 )
 
-// Header identifies a run.
+// Header identifies a run. Beyond the workload identity it records every
+// knob that changes the simulated system's behaviour — the chaos spec,
+// quorum, norm bound and compressor — so a logged run is self-describing:
+// the header alone reproduces the run bit-for-bit.
 type Header struct {
 	Kind    string  `json:"kind"` // always "header"
 	Model   string  `json:"model"`
@@ -22,6 +25,16 @@ type Header struct {
 	K       int     `json:"k"`
 	Seed    uint64  `json:"seed"`
 	Alpha   float64 `json:"alpha,omitempty"`
+
+	// Chaos is the fault-injection spec (chaos.Config.Spec format); empty
+	// means no injection.
+	Chaos string `json:"chaos,omitempty"`
+	// Quorum is the minimum valid updates required to aggregate a round.
+	Quorum int `json:"quorum,omitempty"`
+	// MaxNorm is the L2 bound above which updates are quarantined.
+	MaxNorm float64 `json:"max_norm,omitempty"`
+	// Compress names the upload compressor ("" or "none" = full precision).
+	Compress string `json:"compress,omitempty"`
 }
 
 // Record is one logged round.

@@ -28,12 +28,29 @@ type impairment struct {
 	scale    float64
 }
 
+// TransferObserver receives link activity for telemetry. Observers are
+// passive: they see times the link already computed and must not mutate the
+// link, so an observed link behaves bit-identically to an unobserved one.
+// Calls happen on whichever goroutine drives the link (one per client round),
+// so a shared observer must be internally synchronized.
+type TransferObserver interface {
+	// ObserveTransfer fires once per enqueued transfer: service start, final
+	// completion, per-attempt payload bytes and the number of attempts.
+	ObserveTransfer(start, end, bytes float64, attempts int)
+	// ObserveImpairment fires when an impairment window is installed.
+	ObserveImpairment(from, to, scale float64)
+}
+
 // Link is a FIFO point-to-point link with fixed bandwidth and per-transfer
 // latency. Transfers must be enqueued in nondecreasing time order (the
 // simulator's per-client timelines guarantee this).
 type Link struct {
 	Bandwidth float64 // bytes per second
 	Latency   float64 // seconds added to every transfer
+
+	// Observer, when non-nil, is notified of transfers and impairment
+	// windows. Purely observational; nil costs nothing.
+	Observer TransferObserver
 
 	free        float64 // time at which the link is next idle
 	lastEnqueue float64
@@ -71,6 +88,9 @@ func (l *Link) Impair(from, to, scale float64) {
 		panic("simnet: permanent outage would never complete a transfer")
 	}
 	l.impairments = append(l.impairments, impairment{from: from, to: to, scale: scale})
+	if l.Observer != nil {
+		l.Observer.ObserveImpairment(from, to, scale)
+	}
 }
 
 // rateAt returns the effective service rate at time t and the next time at
@@ -149,6 +169,9 @@ func (l *Link) TransferAttempts(enqueue, bytes float64, attempts int) (start, en
 	}
 	l.retries += attempts - 1
 	l.free = end
+	if l.Observer != nil {
+		l.Observer.ObserveTransfer(start, end, bytes, attempts)
+	}
 	return start, end
 }
 

@@ -1,0 +1,37 @@
+package telemetry
+
+import "testing"
+
+// TestDisabledTelemetryZeroAllocs is the CI overhead guard: with telemetry
+// disabled (nil sink) every hot-path entry point the round loop calls must
+// allocate nothing, so shipping the instrumentation costs simulations that
+// never enable it only a nil check.
+func TestDisabledTelemetryZeroAllocs(t *testing.T) {
+	var s *Sink
+	if n := testing.AllocsPerRun(1000, func() {
+		s.ObserveIteration(0.25)
+		s.RoundDone(3, 0, 10, 0.5, 8, 0, 0, false)
+		s.UpObserver()
+		s.DownObserver()
+		s.Tracer().Span(ServerTrack, "x", "c", 0, 1, nil)
+		s.Tracer().Instant(ServerTrack, "x", "c", 0, nil)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry allocated %v times per run, want 0", n)
+	}
+}
+
+// TestEnabledHotPathZeroAllocs pins the per-iteration and per-transfer cost of
+// an enabled sink: metric updates are pure atomics, no allocation.
+func TestEnabledHotPathZeroAllocs(t *testing.T) {
+	s := New()
+	obs := s.UpObserver()
+	if n := testing.AllocsPerRun(1000, func() {
+		s.ObserveIteration(0.25)
+		s.Rounds.Inc()
+		s.Accuracy.Set(0.5)
+		s.RoundSeconds.Observe(12)
+		obs.ObserveTransfer(0, 1, 4096, 1)
+	}); n != 0 {
+		t.Fatalf("enabled metric hot path allocated %v times per run, want 0", n)
+	}
+}

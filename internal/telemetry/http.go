@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the live introspection surface of a run:
+//
+//	/metrics        Prometheus text exposition of the sink's registry
+//	/metrics.json   the same registry as a JSON array
+//	/status         the caller's status snapshot as JSON (current round,
+//	                runner and scheme stats — anything status() returns)
+//	/debug/pprof/…  the standard net/http/pprof handlers
+//
+// status may be nil (the endpoint then serves the registry snapshot). Every
+// handler is safe to hit while the simulation runs: status() must only use
+// race-safe accessors (Runner.Stats, Scheme.Stats, sink gauges).
+func NewMux(s *Sink, status func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg := s.Registry(); reg != nil {
+			_ = reg.WriteProm(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg := s.Registry(); reg != nil {
+			_ = reg.WriteJSON(w)
+		} else {
+			_, _ = w.Write([]byte("[]\n"))
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if status != nil {
+			v = status()
+		} else if reg := s.Registry(); reg != nil {
+			v = reg.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,170 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedca/internal/baseline"
+	"fedca/internal/chaos"
+	"fedca/internal/expcfg"
+	"fedca/internal/fl"
+	"fedca/internal/telemetry"
+	"fedca/internal/trace"
+)
+
+// smallWorkload mirrors the fl package's tiny CNN test workload.
+func smallWorkload() expcfg.Workload {
+	w := expcfg.CNN()
+	w.Img.Height, w.Img.Width = 8, 8
+	w.Wrn.Image = w.Img
+	w.Img.Classes = 4
+	w.FL.BaseIterTime = 0.1
+	w.FL.ModelBytes = 0
+	return w.Shrink(8, 256, 128, 16)
+}
+
+func get(t *testing.T, mux *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := mux.Client().Get(mux.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), b.String()
+}
+
+// TestHTTPIntrospectionDuringChaosRun drives a chaos-enabled simulation while
+// a background goroutine hammers the introspection endpoints. Meaningful
+// under -race: it proves /metrics and /status are safe to poll mid-round.
+func TestHTTPIntrospectionDuringChaosRun(t *testing.T) {
+	w := smallWorkload()
+	eng, err := chaos.NewEngine(chaos.Config{
+		DropProb:     0.3,
+		SlowProb:     0.5,
+		DegradeProb:  0.3,
+		OutageProb:   0.25,
+		XferFailProb: 0.2,
+		CorruptProb:  0.25,
+	}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FL.Chaos = eng
+	w.FL.MaxDeltaNorm = 1e6
+	sink := telemetry.New()
+	w.FL.Telemetry = sink
+	tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
+	runner, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := telemetry.NewMux(sink, func() any {
+		return struct {
+			Round  float64        `json:"round"`
+			Runner fl.RunnerStats `json:"runner"`
+		}{sink.Round.Value(), runner.Stats()}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/status", "/metrics.json"} {
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s during run: %v", path, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("GET %s = %d during run", path, resp.StatusCode)
+					return
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		runner.RunRound()
+	}
+	close(done)
+	wg.Wait()
+
+	code, ctype, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("GET /metrics = %d %q", code, ctype)
+	}
+	if !strings.Contains(body, "# TYPE fedca_rounds_total counter") ||
+		!strings.Contains(body, "fedca_rounds_total 3") {
+		t.Fatalf("metrics output missing round counter:\n%s", body)
+	}
+
+	code, ctype, body = get(t, srv, "/status")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("GET /status = %d %q", code, ctype)
+	}
+	var status struct {
+		Round  float64        `json:"round"`
+		Runner fl.RunnerStats `json:"runner"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("status is not valid JSON: %v\n%s", err, body)
+	}
+	if status.Round != 3 {
+		t.Fatalf("status round = %v, want 3", status.Round)
+	}
+
+	code, _, body = get(t, srv, "/metrics.json")
+	if code != 200 {
+		t.Fatalf("GET /metrics.json = %d", code)
+	}
+	var snap []telemetry.MetricSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json is not valid JSON: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("metrics.json empty")
+	}
+
+	if code, _, _ := get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Fatalf("GET /debug/pprof/ = %d", code)
+	}
+}
+
+// TestMuxStatusFallback covers the mux with no status closure: /status must
+// fall back to the registry snapshot instead of failing.
+func TestMuxStatusFallback(t *testing.T) {
+	sink := telemetry.New()
+	sink.Rounds.Inc()
+	srv := httptest.NewServer(telemetry.NewMux(sink, nil))
+	defer srv.Close()
+	code, _, body := get(t, srv, "/status")
+	if code != 200 {
+		t.Fatalf("GET /status = %d", code)
+	}
+	if !strings.Contains(body, "fedca_rounds_total") {
+		t.Fatalf("fallback status missing metrics:\n%s", body)
+	}
+}

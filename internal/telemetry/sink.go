@@ -1,0 +1,184 @@
+package telemetry
+
+// Sink bundles one run's metrics registry and span tracer and pre-registers
+// the simulator's metric set. A nil *Sink is the disabled state: every entry
+// point the round loop touches is nil-safe and allocation-free, so
+// instrumented code needs no build flags or interface indirection.
+type Sink struct {
+	reg    *Registry
+	tracer *Tracer
+
+	// Server-side round counters and gauges.
+	Rounds        *Counter
+	SkippedRounds *Counter
+	Quarantined   *Counter
+	Dropouts      *Counter
+	Round         *Gauge
+	VirtualTime   *Gauge
+	Accuracy      *Gauge
+
+	// Scheme behaviour (incremented by internal/core).
+	EarlyStops   *Counter
+	FullRounds   *Counter
+	EagerTx      *Counter
+	Retransmits  *Counter
+	AnchorRounds *Counter
+	AnchorAborts *Counter
+
+	// Link-level traffic, fed by the simnet transfer observers.
+	UplinkBytes   *Counter
+	DownlinkBytes *Counter
+	LinkTransfers *Counter
+	LinkRetries   *Counter
+	Impairments   *Counter
+
+	// Distributions.
+	IterSeconds     *Histogram
+	RoundSeconds    *Histogram
+	TransferSeconds *Histogram
+	ClientIters     *Histogram
+
+	up, down LinkObserver
+}
+
+// New builds an enabled sink with the simulator's metric set registered.
+func New() *Sink {
+	reg := NewRegistry()
+	s := &Sink{
+		reg:    reg,
+		tracer: NewTracer(),
+
+		Rounds:        reg.Counter("fedca_rounds_total", "Communication rounds completed, including skipped ones."),
+		SkippedRounds: reg.Counter("fedca_rounds_skipped_total", "Rounds closed without aggregating (below quorum)."),
+		Quarantined:   reg.Counter("fedca_updates_quarantined_total", "Updates rejected by server-side validation."),
+		Dropouts:      reg.Counter("fedca_client_dropouts_total", "Client-rounds lost to mid-round dropout."),
+		Round:         reg.Gauge("fedca_round", "Number of completed rounds (current round index + 1)."),
+		VirtualTime:   reg.Gauge("fedca_virtual_time_seconds", "Current virtual sim time."),
+		Accuracy:      reg.Gauge("fedca_accuracy", "Global model test accuracy after the last aggregation."),
+
+		EarlyStops:   reg.Counter("fedca_early_stops_total", "Client-rounds ended by the utility-guided early stop."),
+		FullRounds:   reg.Counter("fedca_full_rounds_total", "Client-rounds that ran to the full iteration budget."),
+		EagerTx:      reg.Counter("fedca_eager_transmissions_total", "Eager layer transmissions sent before round end."),
+		Retransmits:  reg.Counter("fedca_retransmissions_total", "Eagerly sent layers retransmitted at round end."),
+		AnchorRounds: reg.Counter("fedca_anchor_rounds_total", "Client-rounds spent profiling statistical progress."),
+		AnchorAborts: reg.Counter("fedca_anchor_aborts_total", "Anchor recordings abandoned because the client dropped."),
+
+		UplinkBytes:   reg.Counter("fedca_link_bytes_total", "Payload bytes carried, including failed attempts.", Label{"direction", "up"}),
+		DownlinkBytes: reg.Counter("fedca_link_bytes_total", "Payload bytes carried, including failed attempts.", Label{"direction", "down"}),
+		LinkTransfers: reg.Counter("fedca_link_transfers_total", "Transmission attempts carried by all links."),
+		LinkRetries:   reg.Counter("fedca_link_retries_total", "Failed transfer attempts that were retransmitted."),
+		Impairments:   reg.Counter("fedca_link_impairments_total", "Impairment windows installed on links (degradation or outage)."),
+
+		IterSeconds:     reg.Histogram("fedca_iteration_seconds", "Virtual duration of one local training iteration.", ExpBuckets(0.01, 2, 16)),
+		RoundSeconds:    reg.Histogram("fedca_round_seconds", "Virtual duration of one communication round.", ExpBuckets(0.1, 2, 18)),
+		TransferSeconds: reg.Histogram("fedca_transfer_seconds", "Virtual airtime of one link transfer (queueing excluded).", ExpBuckets(0.001, 2, 20)),
+		ClientIters:     reg.Histogram("fedca_client_round_iterations", "Local iterations completed per client-round.", ExpBuckets(1, 2, 10)),
+	}
+	s.up = LinkObserver{bytes: s.UplinkBytes, transfers: s.LinkTransfers, retries: s.LinkRetries, impair: s.Impairments, airtime: s.TransferSeconds}
+	s.down = LinkObserver{bytes: s.DownlinkBytes, transfers: s.LinkTransfers, retries: s.LinkRetries, impair: s.Impairments, airtime: s.TransferSeconds}
+	s.tracer.NameTrack(ServerTrack, "server")
+	return s
+}
+
+// Registry returns the sink's metrics registry (nil when disabled).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the sink's span tracer (nil when disabled).
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// Enabled reports whether the sink records anything.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// ObserveIteration records one local-training iteration's virtual duration.
+// This is the per-iteration hot path: nil-safe and allocation-free.
+func (s *Sink) ObserveIteration(sec float64) {
+	if s == nil {
+		return
+	}
+	s.IterSeconds.Observe(sec)
+}
+
+// RoundDone records one completed round: gauges, counters, the round-duration
+// histogram and the server-track round span.
+func (s *Sink) RoundDone(round int, start, end, accuracy float64, collected, quarantined, dropped int, skipped bool) {
+	if s == nil {
+		return
+	}
+	s.Rounds.Inc()
+	if skipped {
+		s.SkippedRounds.Inc()
+	}
+	s.Quarantined.Add(float64(quarantined))
+	s.Dropouts.Add(float64(dropped))
+	s.Round.Set(float64(round + 1))
+	s.VirtualTime.Set(end)
+	s.Accuracy.Set(accuracy)
+	s.RoundSeconds.Observe(end - start)
+	args := map[string]any{
+		"round":     round,
+		"collected": collected,
+		"accuracy":  accuracy,
+	}
+	if skipped {
+		args["skipped"] = true
+	}
+	if quarantined > 0 {
+		args["quarantined"] = quarantined
+	}
+	if dropped > 0 {
+		args["dropped"] = dropped
+	}
+	name := "round"
+	if skipped {
+		name = "round (skipped)"
+	}
+	s.tracer.Span(ServerTrack, name, "round", start, end, args)
+}
+
+// UpObserver returns the observer to install on a client's uplink.
+func (s *Sink) UpObserver() *LinkObserver {
+	if s == nil {
+		return nil
+	}
+	return &s.up
+}
+
+// DownObserver returns the observer to install on a client's downlink.
+func (s *Sink) DownObserver() *LinkObserver {
+	if s == nil {
+		return nil
+	}
+	return &s.down
+}
+
+// LinkObserver adapts the sink to simnet's transfer-observer hook: it counts
+// carried bytes, attempts and retries and observes per-transfer airtime. It
+// performs no time arithmetic of its own, so observed links behave
+// identically to unobserved ones.
+type LinkObserver struct {
+	bytes, transfers, retries, impair *Counter
+	airtime                           *Histogram
+}
+
+// ObserveTransfer implements simnet.TransferObserver.
+func (o *LinkObserver) ObserveTransfer(start, end, bytes float64, attempts int) {
+	o.bytes.Add(bytes * float64(attempts))
+	o.transfers.Add(float64(attempts))
+	o.retries.Add(float64(attempts - 1))
+	o.airtime.Observe(end - start)
+}
+
+// ObserveImpairment implements simnet.TransferObserver.
+func (o *LinkObserver) ObserveImpairment(from, to, scale float64) {
+	o.impair.Inc()
+}

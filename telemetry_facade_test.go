@@ -1,0 +1,82 @@
+package fedca_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fedca"
+)
+
+// TestFacadeTelemetry exercises the public observability surface: a sink
+// attached through Options, the federation snapshot, and the introspection
+// handler built by NewTelemetryMux.
+func TestFacadeTelemetry(t *testing.T) {
+	opts := fedca.DefaultOptions()
+	opts.Clients = 4
+	opts.LocalIters = 6
+	opts.BatchSize = 8
+	opts.TrainSamples = 256
+	opts.TestSamples = 64
+	tel := fedca.NewTelemetry()
+	opts.Telemetry = tel
+	f, err := fedca.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := f.Run(2)
+
+	if got := tel.Rounds.Value(); got != 2 {
+		t.Fatalf("sink rounds = %v, want 2", got)
+	}
+	if tel.Tracer().Len() == 0 {
+		t.Fatal("sink recorded no spans")
+	}
+
+	snap := f.Snapshot()
+	if snap.Round != 2 {
+		t.Fatalf("snapshot round = %d, want 2", snap.Round)
+	}
+	last := rounds[len(rounds)-1]
+	if snap.VirtualTime != last.End || snap.Accuracy != last.Accuracy {
+		t.Fatalf("snapshot %+v does not match last round %+v", snap, last)
+	}
+	if snap.FedCA == nil {
+		t.Fatal("snapshot missing FedCA stats for the fedca scheme")
+	}
+
+	srv := httptest.NewServer(fedca.NewTelemetryMux(tel, f))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(body.String(), "fedca_rounds_total 2") {
+		t.Fatalf("GET /metrics = %d:\n%s", resp.StatusCode, body.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got fedca.Snapshot
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&got); err != nil {
+		t.Fatalf("/status is not a JSON snapshot: %v", err)
+	}
+	resp.Body.Close()
+	if got.Round != snap.Round || got.Accuracy != snap.Accuracy {
+		t.Fatalf("/status %+v does not match Snapshot() %+v", got, snap)
+	}
+}
