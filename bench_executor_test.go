@@ -1,0 +1,127 @@
+package fedca_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"fedca/internal/execpool"
+	"fedca/internal/experiments"
+)
+
+// executorScale is a reduced scale for benchmarking the executor itself: the
+// workload must be heavy enough that cell scheduling dominates noise, but
+// light enough that three full passes (serial / parallel / warm) fit in a CI
+// bench-smoke budget.
+func executorScale() experiments.Scale {
+	return experiments.Scale{
+		Name: "tiny", Clients: 4, Rounds: 12, K: 12,
+		TrainN: 384, TestN: 128, BatchSize: 12,
+		EarlyRound: 1, LateRound: 4, Window: 2,
+		ProfilePeriod: 3,
+	}
+}
+
+// executorBenchIDs share convergence cells (Fig. 7 ∩ Table 1 ∩ Fig. 9), so
+// the suite measures dedup as well as parallel fan-out.
+var executorBenchIDs = []string{"fig7", "table1", "fig9"}
+
+type executorModeReport struct {
+	SecPerOp      float64 `json:"sec_per_op"`
+	CellsComputed int64   `json:"cells_computed"`
+	MemHits       int64   `json:"mem_hits"`
+	DiskHits      int64   `json:"disk_hits"`
+	DedupWaits    int64   `json:"dedup_waits"`
+	Speedup       float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// BenchmarkCellExecutor measures the cell executor end to end on a fixed
+// artifact set: the serial reference path, cold-cache parallel execution,
+// and a warm content-addressed cache. After the sub-benchmarks it writes the
+// machine-readable BENCH_executor.json (override the path with
+// FEDCA_BENCH_JSON) so future changes have a perf trajectory to compare
+// against.
+func BenchmarkCellExecutor(b *testing.B) {
+	s := executorScale()
+	const seed = 17
+	runIDs := func(b *testing.B) {
+		for _, id := range executorBenchIDs {
+			if _, err := experiments.Run(id, s, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Every mode reconfigures the executor per iteration so each op starts
+	// from cold memory; the executor the other benchmarks share is restored
+	// at the end.
+	defer experiments.Configure(benchExecutorOptions())
+
+	report := map[string]*executorModeReport{}
+	measure := func(name string, opts execpool.Options) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				experiments.Configure(opts)
+				b.StartTimer()
+				runIDs(b)
+			}
+			st := experiments.ExecStats()
+			report[name] = &executorModeReport{
+				SecPerOp:      b.Elapsed().Seconds() / float64(b.N),
+				CellsComputed: st.Computed,
+				MemHits:       st.MemHits,
+				DiskHits:      st.DiskHits,
+				DedupWaits:    st.DedupWaits,
+			}
+			b.ReportMetric(float64(st.Computed), "cells/op")
+		})
+	}
+
+	measure("serial", execpool.Options{Workers: 1})
+	measure("parallel", execpool.Options{Workers: experiments.DefaultWorkers()})
+
+	cacheDir := b.TempDir()
+	warmOpts := execpool.Options{Workers: experiments.DefaultWorkers(), CacheDir: cacheDir}
+	experiments.Configure(warmOpts)
+	runIDs(b) // prewarm the disk cache once, outside the timed region
+	measure("warm", warmOpts)
+
+	if serial := report["serial"]; serial != nil {
+		for name, m := range report {
+			if name != "serial" && m.SecPerOp > 0 {
+				m.Speedup = serial.SecPerOp / m.SecPerOp
+			}
+		}
+	}
+	writeExecutorBenchJSON(b, report)
+}
+
+func writeExecutorBenchJSON(b *testing.B, report map[string]*executorModeReport) {
+	if len(report) == 0 {
+		return
+	}
+	path := os.Getenv("FEDCA_BENCH_JSON")
+	if path == "" {
+		path = "BENCH_executor.json"
+	}
+	doc := struct {
+		Bench       string                         `json:"bench"`
+		Experiments []string                       `json:"experiments"`
+		GOMAXPROCS  int                            `json:"gomaxprocs"`
+		Modes       map[string]*executorModeReport `json:"modes"`
+	}{
+		Bench:       "BenchmarkCellExecutor",
+		Experiments: executorBenchIDs,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Modes:       report,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", path)
+}

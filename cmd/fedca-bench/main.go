@@ -6,9 +6,15 @@
 //	fedca-bench -exp table1            # one experiment at the default scale
 //	fedca-bench -exp all -scale tiny   # everything, smallest instance
 //	fedca-bench -exp fig7 -scale full -seed 7 -series
+//	fedca-bench -exp all -cache ~/.cache/fedca-cells   # warm across runs
 //
 // Scales: tiny (minutes), small (default), full (paper-sized: 128 clients,
 // K = 125 — expect hours of CPU).
+//
+// Experiments execute through the cell executor (DESIGN.md §10): the
+// training runs behind each figure are deduplicated across figures, computed
+// in parallel up to -parallel concurrent cells, and — with -cache — reused
+// across invocations from a content-addressed on-disk result cache.
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"sort"
 	"time"
 
+	"fedca/internal/execpool"
 	"fedca/internal/experiments"
 	"fedca/internal/report"
+	"fedca/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +36,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master seed")
 	series := flag.Bool("series", false, "also print full data series for plotting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", experiments.DefaultWorkers(), "max concurrently computing experiment cells (1 = serial)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty disables)")
+	metricsOut := flag.String("metrics-out", "", "write a telemetry JSON snapshot (executor counters included) to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +52,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	reg := telemetry.NewRegistry()
+	experiments.Configure(execpool.Options{
+		Workers:  *parallel,
+		CacheDir: *cacheDir,
+		Metrics:  reg,
+	})
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -68,6 +87,26 @@ func main() {
 				}
 				fmt.Print(report.Series(id+"/"+n, xs, ys, 0))
 			}
+		}
+	}
+
+	st := experiments.ExecStats()
+	fmt.Fprintf(os.Stderr, "executor: %d cells computed, %d memory hits, %d disk hits, %d dedup waits\n",
+		st.Computed, st.MemHits, st.DiskHits, st.DedupWaits)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := reg.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 	}
 }

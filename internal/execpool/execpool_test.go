@@ -1,0 +1,235 @@
+package execpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fedca/internal/telemetry"
+)
+
+func TestDoMemoizesPerSpec(t *testing.T) {
+	p := New(Options{Workers: 1, Version: "v1"})
+	var calls atomic.Int64
+	compute := func() int { calls.Add(1); return 7 }
+	for i := 0; i < 5; i++ {
+		if got := Do(p, Spec{Kind: "k", Key: "a"}, compute); got != 7 {
+			t.Fatalf("Do = %d", got)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("computed %d times", calls.Load())
+	}
+	// A different key is a different cell.
+	Do(p, Spec{Kind: "k", Key: "b"}, compute)
+	if calls.Load() != 2 {
+		t.Fatalf("second cell not computed (calls=%d)", calls.Load())
+	}
+	st := p.Stats()
+	if st.Computed != 2 || st.MemHits != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilPoolComputesDirectly(t *testing.T) {
+	var calls int
+	for i := 0; i < 3; i++ {
+		Do[int](nil, Spec{Kind: "k", Key: "a"}, func() int { calls++; return calls })
+	}
+	if calls != 3 {
+		t.Fatalf("nil pool must not memoize (calls=%d)", calls)
+	}
+	var p *Pool
+	p.Reset()
+	p.Prefetch(func() {})
+	if p.Stats() != (Stats{}) || p.Workers() != 0 {
+		t.Fatal("nil pool accessors must be inert")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	p := New(Options{Workers: 4, Version: "v1"})
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			results[i] = Do(p, Spec{Kind: "k", Key: "slow"}, func() int {
+				close(started)
+				<-release
+				calls.Add(1)
+				return 42
+			})
+		}()
+	}
+	<-started
+	// Hold the flight open until every other goroutine has joined it (the
+	// waiter counter increments before blocking); releasing earlier would let
+	// late arrivals find the memoized value instead of the flight.
+	for p.Stats().DedupWaits != waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("computed %d times; want singleflight", calls.Load())
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Fatalf("waiter %d got %d", i, r)
+		}
+	}
+	if st := p.Stats(); st.DedupWaits == 0 {
+		t.Fatalf("no dedup waits recorded: %+v", st)
+	}
+}
+
+func TestTokenBudgetBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(Options{Workers: workers, Version: "v1"})
+	var cur, peak atomic.Int64
+	var fns []func()
+	for i := 0; i < 24; i++ {
+		i := i
+		fns = append(fns, func() {
+			Do(p, Spec{Kind: "k", Key: fmt.Sprint(i)}, func() int {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				defer cur.Add(-1)
+				return i
+			})
+		})
+	}
+	p.Prefetch(fns...)
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeds budget %d", peak.Load(), workers)
+	}
+	if st := p.Stats(); st.Computed != 24 || st.Inflight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSerialPrefetchPreservesOrder(t *testing.T) {
+	p := New(Options{Workers: 1, Version: "v1"})
+	var order []int
+	var fns []func()
+	for i := 0; i < 5; i++ {
+		i := i
+		fns = append(fns, func() {
+			Do(p, Spec{Kind: "k", Key: fmt.Sprint(i)}, func() int { order = append(order, i); return i })
+		})
+	}
+	p.Prefetch(fns...)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestPanicPropagatesToAllWaiters(t *testing.T) {
+	p := New(Options{Workers: 2, Version: "v1"})
+	gate := make(chan struct{})
+	panics := make(chan any, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			defer func() { panics <- recover() }()
+			Do(p, Spec{Kind: "k", Key: "boom"}, func() int {
+				<-gate
+				panic("cell exploded")
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if r := <-panics; r != "cell exploded" {
+			t.Fatalf("recovered %v", r)
+		}
+	}
+	// The failed flight must not be memoized: the next request recomputes.
+	got := Do(p, Spec{Kind: "k", Key: "boom"}, func() int { return 9 })
+	if got != 9 {
+		t.Fatalf("recompute after panic = %d", got)
+	}
+}
+
+func TestFingerprintSeparatesVersionsKindsKeys(t *testing.T) {
+	a := New(Options{Workers: 1, Version: "v1"})
+	b := New(Options{Workers: 1, Version: "v2"})
+	s := Spec{Kind: "conv", Key: "cnn/42"}
+	if a.Fingerprint(s) == b.Fingerprint(s) {
+		t.Fatal("version must change the fingerprint")
+	}
+	if a.Fingerprint(Spec{Kind: "conv", Key: "x"}) == a.Fingerprint(Spec{Kind: "curves", Key: "x"}) {
+		t.Fatal("kind must change the fingerprint")
+	}
+	// The separator prevents kind/key concatenation ambiguity.
+	if a.Fingerprint(Spec{Kind: "ab", Key: "c"}) == a.Fingerprint(Spec{Kind: "a", Key: "bc"}) {
+		t.Fatal("kind/key boundary must be unambiguous")
+	}
+	if len(a.Fingerprint(s)) != 64 {
+		t.Fatal("fingerprint must be sha256 hex")
+	}
+}
+
+func TestResetDropsMemoryNotDisk(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Options{Workers: 1, CacheDir: dir, Version: "v1"})
+	var calls int
+	spec := Spec{Kind: "k", Key: "a"}
+	Do(p, spec, func() int { calls++; return 1 })
+	p.Reset()
+	Do(p, spec, func() int { calls++; return 1 })
+	if calls != 1 {
+		t.Fatalf("reset must keep the disk entry warm (calls=%d)", calls)
+	}
+	if st := p.Stats(); st.DiskHits != 1 || st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTelemetryMirror(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	p := New(Options{Workers: 2, CacheDir: dir, Version: "v1", Metrics: reg})
+	spec := Spec{Kind: "k", Key: "a"}
+	Do(p, spec, func() int { return 1 }) // computed + disk write
+	Do(p, spec, func() int { return 1 }) // mem hit
+	p.Reset()
+	Do(p, spec, func() int { return 1 }) // disk hit
+	want := map[string]float64{
+		"fedca_execpool_computed_total":    1,
+		"fedca_execpool_disk_writes_total": 1,
+		"fedca_execpool_inflight":          0,
+	}
+	byTier := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "fedca_execpool_hits_total" {
+			byTier[m.Labels["tier"]] = m.Value
+			continue
+		}
+		if v, ok := want[m.Name]; ok && m.Value != v {
+			t.Fatalf("%s = %v, want %v", m.Name, m.Value, v)
+		}
+	}
+	if byTier["memory"] != 1 || byTier["disk"] != 1 {
+		t.Fatalf("hit tiers = %v", byTier)
+	}
+}

@@ -22,16 +22,23 @@ func AblationFloor(s Scale, seed uint64) *Result {
 	res := newResult("abl-floor")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — Eq. 2 benefit floor on/off (CNN)\n")
-	target := targetFor(s, "cnn", seed)
-	for _, off := range []bool{false, true} {
-		off := off
+	floorRun := func(off bool) ConvRun {
 		variant := "-floor-on"
 		if off {
 			variant = "-floor-off"
 		}
-		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.DisableBenFloor = off })
+		return convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.DisableBenFloor = off })
+	}
+	prefetch(
+		func() { convergenceRun(s, "cnn", "fedavg", "", seed, nil) },
+		func() { floorRun(false) },
+		func() { floorRun(true) },
+	)
+	target := targetFor(s, "cnn", seed)
+	for _, off := range []bool{false, true} {
+		run := floorRun(off)
 		c := metrics.ConvergenceOf(run.Results, target)
-		stats := run.FedCA.Stats()
+		stats := *run.Stats
 		meanStop := meanInt(stats.EarlyStopIters)
 		label := "with floor"
 		if off {
@@ -68,19 +75,27 @@ func AblationSampling(s Scale, seed uint64) *Result {
 	if err != nil {
 		panic(err)
 	}
+	caps := []int{25, 100, 400}
+	capRun := func(cap int) *CurveData {
+		key := fmt.Sprintf("%s/cnn/cap%d/%d", s.cellKey(), cap, seed)
+		return cell("curves-cap", key, func() *CurveData {
+			return collectCurvesWithCap(w, s, seed, cap)
+		})
+	}
+	warms := []func(){func() { collectCurves(s, "cnn", seed) }}
+	for _, cap := range caps {
+		cap := cap
+		warms = append(warms, func() { capRun(cap) })
+	}
+	prefetch(warms...)
 	cd := collectCurves(s, "cnn", seed)
 	l := largestLayer(cd)
 	full := cd.Probe(s.LateRound, 0).Layer[l]
 	// Recompute sampled curves at different caps from a fresh probe run is
 	// costly; instead sample the recorded full curve's layer directly via a
 	// dedicated probe at each cap using the profiler on synthetic replays.
-	for _, cap := range []int{25, 100, 400} {
-		cap := cap
-		key := fmt.Sprintf("ablsampling/%s/%d/%d", s.Name, cap, seed)
-		cdc := cached(key, func() *CurveData {
-			wc := w
-			return collectCurvesWithCap(wc, s, seed, cap)
-		})
+	for _, cap := range caps {
+		cdc := capRun(cap)
 		sampled := cdc.Probe(s.LateRound, 0).Sampled[l]
 		dev := metrics.MaxAbsDiff(full, sampled)
 		prof := core.NewProfiler(cap, core.DefaultSampleFrac, rng.New(seed))
@@ -101,11 +116,20 @@ func AblationPeriod(s Scale, seed uint64) *Result {
 	res := newResult("abl-period")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — profiling period (CNN); period 1 never optimizes (every round is an anchor)\n")
-	target := targetFor(s, "cnn", seed)
-	for _, period := range []int{1, 2, 5, 10} {
-		period := period
+	periods := []int{1, 2, 5, 10}
+	periodRun := func(period int) ConvRun {
 		variant := fmt.Sprintf("-period%d", period)
-		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.ProfilePeriod = period })
+		return convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.ProfilePeriod = period })
+	}
+	warms := []func(){func() { convergenceRun(s, "cnn", "fedavg", "", seed, nil) }}
+	for _, period := range periods {
+		period := period
+		warms = append(warms, func() { periodRun(period) })
+	}
+	prefetch(warms...)
+	target := targetFor(s, "cnn", seed)
+	for _, period := range periods {
+		run := periodRun(period)
 		c := metrics.ConvergenceOf(run.Results, target)
 		res.Values[fmt.Sprintf("total/%d", period)] = c.TotalTime
 		res.Values[fmt.Sprintf("best/%d", period)] = c.BestAcc
@@ -122,14 +146,22 @@ func AblationDeadline(s Scale, seed uint64) *Result {
 	res := newResult("abl-deadline")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — deadline rule (CNN)\n")
-	target := targetFor(s, "cnn", seed)
-	for _, rule := range []struct {
+	rules := []struct {
 		label string
 		q     float64
-	}{{"fedbalancer", 0}, {"quantile-0.5", 0.5}, {"quantile-0.9", 0.9}} {
+	}{{"fedbalancer", 0}, {"quantile-0.5", 0.5}, {"quantile-0.9", 0.9}}
+	ruleRun := func(label string, q float64) ConvRun {
+		return convergenceRun(s, "cnn", "fedca", "-dl-"+label, seed, func(o *core.Options) { o.DeadlineQuantile = q })
+	}
+	warms := []func(){func() { convergenceRun(s, "cnn", "fedavg", "", seed, nil) }}
+	for _, rule := range rules {
 		rule := rule
-		variant := "-dl-" + rule.label
-		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.DeadlineQuantile = rule.q })
+		warms = append(warms, func() { ruleRun(rule.label, rule.q) })
+	}
+	prefetch(warms...)
+	target := targetFor(s, "cnn", seed)
+	for _, rule := range rules {
+		run := ruleRun(rule.label, rule.q)
 		c := metrics.ConvergenceOf(run.Results, target)
 		res.Values["total/"+rule.label] = c.TotalTime
 		res.Values["best/"+rule.label] = c.BestAcc

@@ -18,11 +18,12 @@ func Fig8a(s Scale, seed uint64) *Result {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 8a — CDF of the early-stop iteration (CNN, K=%d)\n", s.K)
 
+	warmConvergence(s, seed, []string{"cnn"}, []string{"fedca", "fedada"})
 	fedca := convergenceRun(s, "cnn", "fedca", "", seed, nil)
-	caIters := append([]int(nil), fedca.FedCA.Stats().EarlyStopIters...)
+	caIters := append([]int(nil), fedca.Stats.EarlyStopIters...)
 	// Clients that never stopped early count as acting at the full K, so the
 	// CDF ends at 1 over the same population.
-	caIters = append(caIters, fullStopPadding(fedca.FedCA.Stats(), s.K)...)
+	caIters = append(caIters, fullStopPadding(*fedca.Stats, s.K)...)
 
 	fedada := convergenceRun(s, "cnn", "fedada", "", seed, nil)
 	var adaIters []int
@@ -66,9 +67,10 @@ func Fig8b(s Scale, seed uint64) *Result {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 8b — CDF of the eager-transmission iteration (CNN, K=%d)\n", s.K)
 
-	with := convergenceRun(s, "cnn", "fedca", "", seed, nil).FedCA.Stats()
+	warmConvergence(s, seed, []string{"cnn"}, []string{"fedca", "fedca-v2"})
+	with := *convergenceRun(s, "cnn", "fedca", "", seed, nil).Stats
 	withIters := append(append([]int(nil), with.EagerIters...), with.RetransmitIters...)
-	without := convergenceRun(s, "cnn", "fedca-v2", "", seed, nil).FedCA.Stats()
+	without := *convergenceRun(s, "cnn", "fedca-v2", "", seed, nil).Stats
 	withoutIters := append([]int(nil), without.EagerIters...)
 
 	for name, iters := range map[string][]int{"with-retrans": withIters, "without-retrans": withoutIters} {

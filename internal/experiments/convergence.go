@@ -13,13 +13,15 @@ import (
 	"fedca/internal/rng"
 )
 
-// ConvRun is one scheme's full training run on one workload.
+// ConvRun is one scheme's full training run on one workload. It is a plain
+// data snapshot (no live scheme pointers), so cells carrying it serialize
+// into the cross-process result cache.
 type ConvRun struct {
 	SchemeName string
 	Results    []fl.RoundResult
-	// FedCA is set when the scheme is a FedCA variant, exposing behavioural
-	// stats (Fig. 8).
-	FedCA *core.Scheme
+	// Stats is set when the scheme is a FedCA variant, exposing behavioural
+	// stats (Fig. 8); nil for baselines.
+	Stats *core.SchemeStats
 }
 
 // buildScheme instantiates a scheme by name. FedCA variants accept option
@@ -54,10 +56,12 @@ func buildScheme(name string, s Scale, seed uint64, mutate func(*core.Options)) 
 }
 
 // convergenceRun trains a workload under a scheme for the scale's full round
-// budget. Memoized per (scale, model, scheme-variant, seed).
+// budget. It is one executor cell: memoized per (scale, model,
+// scheme-variant, seed) in process and, with a cache dir configured, across
+// processes.
 func convergenceRun(s Scale, model, scheme, variant string, seed uint64, mutate func(*core.Options)) ConvRun {
-	key := fmt.Sprintf("conv/%s/%s/%s%s/%d", s.Name, model, scheme, variant, seed)
-	return cached(key, func() ConvRun {
+	key := fmt.Sprintf("%s/%s/%s%s/%d", s.cellKey(), model, scheme, variant, seed)
+	return cell("conv", key, func() ConvRun {
 		w, err := s.Workload(model)
 		if err != nil {
 			panic(err)
@@ -74,13 +78,47 @@ func convergenceRun(s Scale, model, scheme, variant string, seed uint64, mutate 
 		for i := 0; i < s.Rounds; i++ {
 			results = append(results, runner.RunRound())
 		}
-		return ConvRun{SchemeName: scheme + variant, Results: results, FedCA: fedca}
+		run := ConvRun{SchemeName: scheme + variant, Results: results}
+		if fedca != nil {
+			st := fedca.Stats()
+			run.Stats = &st
+		}
+		return stripDeltas(run)
 	})
+}
+
+// stripDeltas drops the per-update parameter vectors from a finished run.
+// No figure consumes them, and they dominate the run's footprint (clients ×
+// rounds × model size), both in memory and in the on-disk cache.
+func stripDeltas(run ConvRun) ConvRun {
+	for _, r := range run.Results {
+		for i := range r.Collected {
+			r.Collected[i].Delta = nil
+		}
+		for i := range r.Discarded {
+			r.Discarded[i].Delta = nil
+		}
+	}
+	return run
 }
 
 // ConvergenceSchemes is the paper's end-to-end comparison set (Fig. 7,
 // Table 1).
 var ConvergenceSchemes = []string{"fedavg", "fedprox", "fedada", "fedca"}
+
+// warmConvergence prefetches the (model × scheme) convergence cells so they
+// compute in parallel under the executor's token budget; the generator body
+// then renders serially from memoized results.
+func warmConvergence(s Scale, seed uint64, models, schemes []string) {
+	var fns []func()
+	for _, m := range models {
+		for _, scheme := range schemes {
+			m, scheme := m, scheme
+			fns = append(fns, func() { convergenceRun(s, m, scheme, "", seed, nil) })
+		}
+	}
+	prefetch(fns...)
+}
 
 // targetFor defines each workload's "near-optimal accuracy" target at this
 // scale: 90% of the best accuracy plain FedAvg reaches within the round
@@ -101,6 +139,7 @@ func targetFor(s Scale, model string, seed uint64) float64 {
 // Fig7 regenerates Fig. 7: time-to-accuracy curves of the four schemes on the
 // three workloads.
 func Fig7(s Scale, seed uint64) *Result {
+	warmConvergence(s, seed, CurveModels, ConvergenceSchemes)
 	res := newResult("fig7")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 7 — time-to-accuracy (virtual time)\n")
@@ -123,6 +162,7 @@ func Fig7(s Scale, seed uint64) *Result {
 // Table1 regenerates Table 1: per-round time, number of rounds and total time
 // to reach the target accuracy, per model and scheme.
 func Table1(s Scale, seed uint64) *Result {
+	warmConvergence(s, seed, CurveModels, ConvergenceSchemes)
 	res := newResult("table1")
 	tb := report.NewTable("Table 1 — time to reach the target accuracy",
 		"Model", "Target", "Scheme", "Per-round (s)", "Rounds", "Total (h)", "Reached")
@@ -152,6 +192,7 @@ func Fig9(s Scale, seed uint64) *Result {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 9 — ablation (v1 = early stop; v2 = +eager, no retrans; v3 = full)\n")
 	schemes := []string{"fedavg", "fedca-v1", "fedca-v2", "fedca"}
+	warmConvergence(s, seed, []string{"cnn", "lstm"}, schemes)
 	labels := map[string]string{"fedavg": "fedavg", "fedca-v1": "v1", "fedca-v2": "v2", "fedca": "v3"}
 	for _, m := range []string{"cnn", "lstm"} {
 		target := targetFor(s, m, seed)
@@ -177,8 +218,17 @@ func Fig10a(s Scale, seed uint64) *Result {
 	res := newResult("fig10a")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 10a — sensitivity to the marginal cost ratio β (CNN)\n")
+	betas := []float64{0.1, 0.01, 0.001}
+	warms := []func(){func() { convergenceRun(s, "cnn", "fedavg", "", seed, nil) }}
+	for _, beta := range betas {
+		beta := beta
+		warms = append(warms, func() {
+			convergenceRun(s, "cnn", "fedca", fmt.Sprintf("-beta%g", beta), seed, func(o *core.Options) { o.Beta = beta })
+		})
+	}
+	prefetch(warms...)
 	target := targetFor(s, "cnn", seed)
-	for _, beta := range []float64{0.1, 0.01, 0.001} {
+	for _, beta := range betas {
 		beta := beta
 		variant := fmt.Sprintf("-beta%g", beta)
 		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) { o.Beta = beta })
@@ -200,8 +250,19 @@ func Fig10b(s Scale, seed uint64) *Result {
 	res := newResult("fig10b")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 10b — sensitivity to eager/retransmission thresholds (CNN)\n")
+	combos := []struct{ te, tr float64 }{{0.95, 0.6}, {0.95, 0.8}, {0.85, 0.6}}
+	warms := []func(){func() { convergenceRun(s, "cnn", "fedavg", "", seed, nil) }}
+	for _, combo := range combos {
+		combo := combo
+		warms = append(warms, func() {
+			convergenceRun(s, "cnn", "fedca", fmt.Sprintf("-te%g-tr%g", combo.te, combo.tr), seed, func(o *core.Options) {
+				o.Te, o.Tr = combo.te, combo.tr
+			})
+		})
+	}
+	prefetch(warms...)
 	target := targetFor(s, "cnn", seed)
-	for _, combo := range []struct{ te, tr float64 }{{0.95, 0.6}, {0.95, 0.8}, {0.85, 0.6}} {
+	for _, combo := range combos {
 		combo := combo
 		variant := fmt.Sprintf("-te%g-tr%g", combo.te, combo.tr)
 		run := convergenceRun(s, "cnn", "fedca", variant, seed, func(o *core.Options) {

@@ -113,17 +113,27 @@ func (c *probeController) Finalize(st fl.FinalState) fl.FinalAction {
 
 // collectCurves trains the workload under plain FedAvg and probes the rounds
 // Figs. 2–5 need: clients 0 and 1 at the early and late stage, plus a window
-// of consecutive rounds for client 0 at both stages (Fig. 4). Results are
-// memoized per (scale, model, seed).
+// of consecutive rounds for client 0 at both stages (Fig. 4). One executor
+// cell per (scale, model, seed).
 func collectCurves(s Scale, model string, seed uint64) *CurveData {
-	key := fmt.Sprintf("curves/%s/%s/%d", s.Name, model, seed)
-	return cached(key, func() *CurveData {
+	key := fmt.Sprintf("%s/%s/%d", s.cellKey(), model, seed)
+	return cell("curves", key, func() *CurveData {
 		w, err := s.Workload(model)
 		if err != nil {
 			panic(err)
 		}
 		return CollectCurvesFor(w, s, seed)
 	})
+}
+
+// warmCurves prefetches the per-model probe cells Figs. 2–5 share.
+func warmCurves(s Scale, seed uint64) {
+	var fns []func()
+	for _, m := range CurveModels {
+		m := m
+		fns = append(fns, func() { collectCurves(s, m, seed) })
+	}
+	prefetch(fns...)
 }
 
 // CollectCurvesFor is the uncached probe run over an explicit workload,
@@ -173,6 +183,7 @@ var CurveModels = []string{"cnn", "lstm", "wrn"}
 // Fig2 regenerates Fig. 2: model-level statistical-progress curves for two
 // clients at an early and a late round, for each workload.
 func Fig2(s Scale, seed uint64) *Result {
+	warmCurves(s, seed)
 	res := newResult("fig2")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 2 — statistical progress curves (clients 0/1, rounds %d/%d)\n", s.EarlyRound, s.LateRound)
@@ -210,6 +221,7 @@ func at20(curve []float64) float64 {
 // layers; the most-divergent pair demonstrates the same cross-layer
 // heterogeneity and works for any architecture).
 func Fig3(s Scale, seed uint64) *Result {
+	warmCurves(s, seed)
 	res := newResult("fig3")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 3 — per-layer statistical progress (most divergent layer pair)\n")
@@ -269,6 +281,7 @@ func meanAbsGap(x, y []float64) float64 {
 // Fig4 regenerates Fig. 4: similarity of a client's curves across consecutive
 // rounds, at an early and a late stage.
 func Fig4(s Scale, seed uint64) *Result {
+	warmCurves(s, seed)
 	res := newResult("fig4")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 4 — curve similarity across %d consecutive rounds (client 0)\n", s.Window)
@@ -306,6 +319,7 @@ func Fig4(s Scale, seed uint64) *Result {
 // Fig5 regenerates Fig. 5: per-layer curves profiled with all parameters vs
 // with the min(50%, 100)-sampled subset.
 func Fig5(s Scale, seed uint64) *Result {
+	warmCurves(s, seed)
 	res := newResult("fig5")
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 5 — full vs sampled profiling (largest layer of each model)\n")

@@ -11,7 +11,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"fedca/internal/core"
 	"fedca/internal/expcfg"
@@ -134,25 +133,13 @@ func newResult(id string) *Result {
 	return &Result{ID: id, Series: make(map[string][]float64), Values: make(map[string]float64)}
 }
 
-// runCache memoizes expensive training runs within a process so that, e.g.,
-// Fig. 7 and Table 1 share the same convergence runs.
-var runCache sync.Map
-
-func cached[T any](key string, compute func() T) T {
-	if v, ok := runCache.Load(key); ok {
-		return v.(T)
-	}
-	v := compute()
-	actual, _ := runCache.LoadOrStore(key, v)
-	return actual.(T)
-}
-
-// ResetCache clears memoized runs (used by tests that need isolation).
-func ResetCache() {
-	runCache.Range(func(k, _ interface{}) bool {
-		runCache.Delete(k)
-		return true
-	})
+// cellKey canonically encodes every Scale field that shapes a run, so cells
+// from differently-parameterized scales — even ones sharing a Name, like the
+// test-only micro scale — never collide in the cross-process result cache.
+func (s Scale) cellKey() string {
+	return fmt.Sprintf("%s:c%d:r%d:k%d:n%d-%d:b%d:e%d:l%d:w%d:p%d",
+		s.Name, s.Clients, s.Rounds, s.K, s.TrainN, s.TestN, s.BatchSize,
+		s.EarlyRound, s.LateRound, s.Window, s.ProfilePeriod)
 }
 
 var _ = fl.NoDeadline // fl is used by sibling files in this package

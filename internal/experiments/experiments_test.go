@@ -177,11 +177,11 @@ func TestConvergenceExperimentsCNN(t *testing.T) {
 	if len(avg.Results) != s.Rounds || len(ca.Results) != s.Rounds {
 		t.Fatal("wrong round counts")
 	}
-	if ca.FedCA == nil {
-		t.Fatal("fedca run must expose the scheme")
+	if ca.Stats == nil {
+		t.Fatal("fedca run must expose the scheme stats")
 	}
-	if avg.FedCA != nil {
-		t.Fatal("fedavg run must not expose a FedCA scheme")
+	if avg.Stats != nil {
+		t.Fatal("fedavg run must not expose FedCA stats")
 	}
 	// FedCA must not be slower overall than FedAvg on the same seed.
 	avgEnd := avg.Results[len(avg.Results)-1].End

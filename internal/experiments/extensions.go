@@ -20,11 +20,11 @@ import (
 // future-work idea (client-autonomous hyperparameter adjustment) implemented
 // and measured.
 
-// customRun trains a workload under an arbitrary scheme/workload mutation,
-// memoized by key.
+// customRun trains a workload under an arbitrary scheme/workload mutation.
+// One executor cell per key: the key must canonically identify the mutation.
 func customRun(s Scale, model, key string, seed uint64, prep func(w *expcfg.Workload) fl.Scheme) ConvRun {
-	cacheKey := fmt.Sprintf("custom/%s/%s/%s/%d", s.Name, model, key, seed)
-	return cached(cacheKey, func() ConvRun {
+	cacheKey := fmt.Sprintf("%s/%s/%s/%d", s.cellKey(), model, key, seed)
+	return cell("custom", cacheKey, func() ConvRun {
 		w, err := s.Workload(model)
 		if err != nil {
 			panic(err)
@@ -43,8 +43,26 @@ func customRun(s Scale, model, key string, seed uint64, prep func(w *expcfg.Work
 		for i := 0; i < s.Rounds; i++ {
 			results = append(results, runner.RunRound())
 		}
-		return ConvRun{SchemeName: key, Results: results, FedCA: fedca}
+		run := ConvRun{SchemeName: key, Results: results}
+		if fedca != nil {
+			st := fedca.Stats()
+			run.Stats = &st
+		}
+		return stripDeltas(run)
 	})
+}
+
+// warmCustom prefetches one customRun cell per variant.
+func warmCustom(s Scale, model string, seed uint64, variants []struct {
+	key  string
+	prep func(w *expcfg.Workload) fl.Scheme
+}, keyPrefix string) {
+	var fns []func()
+	for _, v := range variants {
+		v := v
+		fns = append(fns, func() { customRun(s, model, keyPrefix+v.key, seed, v.prep) })
+	}
+	prefetch(fns...)
 }
 
 func totalUploadBytes(results []fl.RoundResult) float64 {
@@ -98,6 +116,7 @@ func ExtCompress(s Scale, seed uint64) *Result {
 			return core.NewScheme(s.FedCAOptions(), rng.New(seed).Fork("s", "fedca+q"))
 		}},
 	}
+	warmCustom(s, "cnn", seed, variants, "")
 	for _, v := range variants {
 		run := customRun(s, "cnn", v.key, seed, v.prep)
 		c := metrics.ConvergenceOf(run.Results, 2) // never reached: summary over all rounds
@@ -134,6 +153,7 @@ func ExtSelection(s Scale, seed uint64) *Result {
 			return core.NewScheme(s.FedCAOptions(), rng.New(seed).Fork("s", "fedca-sel"))
 		}},
 	}
+	warmCustom(s, "cnn", seed, variants, "sel-")
 	for _, v := range variants {
 		run := customRun(s, "cnn", "sel-"+v.key, seed, v.prep)
 		c := metrics.ConvergenceOf(run.Results, 2)
@@ -158,6 +178,7 @@ func ExtAsync(s Scale, seed uint64) *Result {
 	fmt.Fprintf(&b, "Extension — buffered asynchronous FL vs FedCA (CNN)\n")
 
 	// Synchronous reference runs.
+	warmConvergence(s, seed, []string{"cnn"}, []string{"fedca", "fedavg"})
 	fedca := convergenceRun(s, "cnn", "fedca", "", seed, nil)
 	fedavg := convergenceRun(s, "cnn", "fedavg", "", seed, nil)
 	horizon := fedca.Results[len(fedca.Results)-1].End
@@ -168,8 +189,9 @@ func ExtAsync(s Scale, seed uint64) *Result {
 		fmt.Fprintf(&b, "%-8s acc %s  best=%.3f (sync)\n", name, report.Sparkline(accs), c.BestAcc)
 	}
 
-	// Async run over the same horizon, same testbed seed.
-	asyncRun := cached(fmt.Sprintf("extasync/%s/%d", s.Name, seed), func() *asyncOutcome {
+	// Async run over the same horizon, same testbed seed. The horizon is a
+	// function of the (cached) fedca run, so the key stays canonical.
+	asyncRun := cell("extasync", fmt.Sprintf("%s/%d/h%g", s.cellKey(), seed, horizon), func() *asyncOutcome {
 		w, err := s.Workload("cnn")
 		if err != nil {
 			panic(err)
@@ -180,28 +202,30 @@ func ExtAsync(s Scale, seed uint64) *Result {
 			panic(err)
 		}
 		evals := r.Run(horizon)
-		return &asyncOutcome{evals: evals, stats: r.Stats()}
+		return &asyncOutcome{Evals: evals, Stats: r.Stats()}
 	})
 	best := 0.0
 	var accs []float64
-	for _, e := range asyncRun.evals {
+	for _, e := range asyncRun.Evals {
 		accs = append(accs, e.Accuracy)
 		if e.Accuracy > best {
 			best = e.Accuracy
 		}
 	}
 	res.Values["best/async"] = best
-	res.Values["staleness/mean"] = asyncRun.stats.MeanStaleness
-	res.Values["staleness/max"] = float64(asyncRun.stats.MaxStaleness)
+	res.Values["staleness/mean"] = asyncRun.Stats.MeanStaleness
+	res.Values["staleness/max"] = float64(asyncRun.Stats.MaxStaleness)
 	fmt.Fprintf(&b, "%-8s acc %s  best=%.3f (async; mean staleness %.2f, max %d, %d commits)\n",
-		"fedbuff", report.Sparkline(accs), best, asyncRun.stats.MeanStaleness, asyncRun.stats.MaxStaleness, asyncRun.stats.Commits)
+		"fedbuff", report.Sparkline(accs), best, asyncRun.Stats.MeanStaleness, asyncRun.Stats.MaxStaleness, asyncRun.Stats.Commits)
 	res.Text = b.String()
 	return res
 }
 
+// asyncOutcome is the ext-async cell payload (exported fields: it serializes
+// into the cross-process cache like every other cell).
 type asyncOutcome struct {
-	evals []async.Eval
-	stats async.Stats
+	Evals []async.Eval
+	Stats async.Stats
 }
 
 func maxInt(a, b int) int {
@@ -222,13 +246,21 @@ func ExtHyperparam(s Scale, seed uint64) *Result {
 		key      string
 		adaptive bool
 	}{{"fedca", false}, {"fedca+adaptlr", true}}
+	hpRun := func(key string, adaptive bool) ConvRun {
+		return customRun(s, "cnn", "hp-"+key, seed, func(w *expcfg.Workload) fl.Scheme {
+			o := s.FedCAOptions()
+			o.AdaptiveLR = adaptive
+			return core.NewScheme(o, rng.New(seed).Fork("s", key))
+		})
+	}
+	var warms []func()
 	for _, v := range variants {
 		v := v
-		run := customRun(s, "cnn", "hp-"+v.key, seed, func(w *expcfg.Workload) fl.Scheme {
-			o := s.FedCAOptions()
-			o.AdaptiveLR = v.adaptive
-			return core.NewScheme(o, rng.New(seed).Fork("s", v.key))
-		})
+		warms = append(warms, func() { hpRun(v.key, v.adaptive) })
+	}
+	prefetch(warms...)
+	for _, v := range variants {
+		run := hpRun(v.key, v.adaptive)
 		c := metrics.ConvergenceOf(run.Results, 2)
 		_, accs := metrics.AccuracyCurve(run.Results)
 		res.Values["best/"+v.key] = c.BestAcc

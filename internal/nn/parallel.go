@@ -3,6 +3,7 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelSamples runs fn(i) for i in [0, n), fanning out across workers when
@@ -27,14 +28,12 @@ func parallelSamples(n int, heavy bool, makeScratch func() interface{}, fn func(
 	if workers > n {
 		workers = n
 	}
-	var next int64
-	var mu sync.Mutex
+	// The work index is claimed with a single atomic increment: this sits on
+	// the per-sample hot path, where a mutex handoff costs more than the
+	// sample's arithmetic for small kernels.
+	var next atomic.Int64
 	takeNext := func() int {
-		mu.Lock()
-		i := int(next)
-		next++
-		mu.Unlock()
-		return i
+		return int(next.Add(1) - 1)
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
