@@ -1,0 +1,235 @@
+// Per-kernel benchmark suite for the math floor (DESIGN.md §11): every GEMM
+// orientation the models use, at the exact shapes the tiny-scale fig7/table1
+// workloads hit, each measured against tensor.MatMulRef — the textbook
+// ascending-k reference the blocked kernels are bit-identical to. After each
+// benchmark family runs, the accumulated results are written to
+// BENCH_kernels.json (override with FEDCA_BENCH_KERNELS_JSON) so kernel
+// regressions show up as a speedup-ratio trajectory, not a vibe.
+//
+//	go test -bench 'BenchmarkGEMM|BenchmarkConv' -benchtime=100x .
+package fedca_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fedca/internal/nn"
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// gemmShape names one GEMM the model hot loop issues. m×k times k×n in the
+// kernel's own orientation (for NT the second operand is stored n×k, for TN
+// the first is stored k×m).
+type gemmShape struct {
+	name    string
+	m, k, n int
+}
+
+// Shapes from the tiny-scale CNN (fig7/table1 workload: conv1 3×16×16 k5 p2,
+// conv2 6×8×8 k5 p2, fc1 256→120, batch 16) and the LSTM (hidden 24, gates
+// 96, batch 16). Comments give the producing operation.
+var (
+	gemmShapesNT = []gemmShape{
+		{"conv1_fwd_6x75x256", 6, 75, 256},   // W[6,75]·col[256,75]ᵀ
+		{"conv2_fwd_16x150x64", 16, 150, 64}, // W[16,150]·col[64,150]ᵀ
+		{"fc1_fwd_16x256x120", 16, 256, 120}, // x[16,256]·W[120,256]ᵀ
+		{"lstm_gates_16x24x96", 16, 24, 96},  // h[16,24]·Whh[96,24]ᵀ
+	}
+	gemmShapesNN = []gemmShape{
+		{"fc1_dx_16x120x256", 16, 120, 256}, // dout[16,120]·W[120,256]
+		{"conv2_dW_16x64x150", 16, 64, 150}, // dout[16,64]·col[64,150] (MatMulPacked)
+		{"lstm_dx_16x96x24", 16, 96, 24},    // dgates[16,96]·Whh[96,24]
+	}
+	gemmShapesTN = []gemmShape{
+		{"conv2_dcol_64x16x150", 64, 16, 150}, // dout[16,64]ᵀ·W[16,150]
+		{"fc1_dW_120x16x256", 120, 16, 256},   // dout[16,120]ᵀ·x[16,256]
+		{"conv1_dcol_256x6x75", 256, 6, 75},   // dout[6,256]ᵀ·W[6,75]
+	}
+)
+
+type kernelReport struct {
+	BlockedSecPerOp float64 `json:"blocked_sec_per_op"`
+	RefSecPerOp     float64 `json:"ref_sec_per_op,omitempty"`
+	Speedup         float64 `json:"speedup_vs_ref,omitempty"`
+}
+
+var (
+	kernelReportMu sync.Mutex
+	kernelReports  = map[string]*kernelReport{}
+)
+
+func fillRand(r *rand.Rand, t *tensor.Tensor) {
+	d := t.Data()
+	for i := range d {
+		d[i] = r.NormFloat64()
+	}
+}
+
+// benchGEMMPair times the blocked kernel and the reference kernel on the same
+// operands and records the pair (plus their ratio) in the kernel report.
+func benchGEMMPair(b *testing.B, family string, s gemmShape, transA, transB bool,
+	blocked func(dst, a, bt *tensor.Tensor)) {
+	b.Run(s.name, func(b *testing.B) {
+		r := rand.New(rand.NewSource(99))
+		aRows, aCols := s.m, s.k
+		if transA {
+			aRows, aCols = s.k, s.m
+		}
+		bRows, bCols := s.k, s.n
+		if transB {
+			bRows, bCols = s.n, s.k
+		}
+		a := tensor.New(aRows, aCols)
+		bt := tensor.New(bRows, bCols)
+		fillRand(r, a)
+		fillRand(r, bt)
+		dst := tensor.New(s.m, s.n)
+		ref := tensor.New(s.m, s.n)
+
+		var blockedSec, refSec float64
+		b.Run("blocked", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				blocked(dst, a, bt)
+			}
+			blockedSec = b.Elapsed().Seconds() / float64(b.N)
+		})
+		b.Run("ref", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulRef(ref, a, bt, transA, transB)
+			}
+			refSec = b.Elapsed().Seconds() / float64(b.N)
+		})
+		for i, v := range ref.Data() {
+			if dst.Data()[i] != v {
+				b.Fatalf("blocked result diverges from reference at %d: %v vs %v", i, dst.Data()[i], v)
+			}
+		}
+		rep := &kernelReport{BlockedSecPerOp: blockedSec, RefSecPerOp: refSec}
+		if blockedSec > 0 {
+			rep.Speedup = refSec / blockedSec
+			b.ReportMetric(rep.Speedup, "speedup-vs-ref")
+		}
+		kernelReportMu.Lock()
+		kernelReports[family+"/"+s.name] = rep
+		kernelReportMu.Unlock()
+	})
+}
+
+func BenchmarkGEMMNN(b *testing.B) {
+	for _, s := range gemmShapesNN {
+		benchGEMMPair(b, "NN", s, false, false, tensor.MatMul)
+	}
+	writeKernelBenchJSON(b)
+}
+
+func BenchmarkGEMMTN(b *testing.B) {
+	for _, s := range gemmShapesTN {
+		benchGEMMPair(b, "TN", s, true, false, tensor.MatMulTransA)
+	}
+	writeKernelBenchJSON(b)
+}
+
+func BenchmarkGEMMNT(b *testing.B) {
+	for _, s := range gemmShapesNT {
+		benchGEMMPair(b, "NT", s, false, true, tensor.MatMulTransB)
+	}
+	writeKernelBenchJSON(b)
+}
+
+// benchConvs builds the tiny-scale CNN's two convolution stages with a
+// batch-16 input, matching what every fig7/table1 training step executes.
+func benchConvs() (conv1, conv2 *nn.Conv2D, x1, x2 *tensor.Tensor) {
+	rr := rng.New(7)
+	g1 := tensor.NewConvGeom(3, 16, 16, 5, 5, 1, 2)
+	conv1 = nn.NewConv2D("conv1", g1, 6, rr)
+	g2 := tensor.NewConvGeom(6, 8, 8, 5, 5, 1, 2)
+	conv2 = nn.NewConv2D("conv2", g2, 16, rr)
+	r := rand.New(rand.NewSource(5))
+	x1 = tensor.New(16, conv1.InDim())
+	x2 = tensor.New(16, conv2.InDim())
+	fillRand(r, x1)
+	fillRand(r, x2)
+	return
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	conv1, conv2, x1, x2 := benchConvs()
+	for _, bc := range []struct {
+		name string
+		c    *nn.Conv2D
+		x    *tensor.Tensor
+	}{{"conv1", conv1, x1}, {"conv2", conv2, x2}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bc.c.Forward(bc.x, false)
+			}
+			kernelReportMu.Lock()
+			kernelReports["ConvForward/"+bc.name] = &kernelReport{BlockedSecPerOp: b.Elapsed().Seconds() / float64(b.N)}
+			kernelReportMu.Unlock()
+		})
+	}
+	writeKernelBenchJSON(b)
+}
+
+// BenchmarkConvBackward times the full train step of each conv layer
+// (forward in train mode + backward): Backward consumes the forward
+// activations, so the pair is the unit the training loop actually pays for.
+func BenchmarkConvBackward(b *testing.B) {
+	conv1, conv2, x1, x2 := benchConvs()
+	for _, bc := range []struct {
+		name string
+		c    *nn.Conv2D
+		x    *tensor.Tensor
+	}{{"conv1", conv1, x1}, {"conv2", conv2, x2}} {
+		b.Run(bc.name, func(b *testing.B) {
+			dout := tensor.New(16, bc.c.OutDim())
+			fillRand(rand.New(rand.NewSource(6)), dout)
+			for i := 0; i < b.N; i++ {
+				bc.c.Forward(bc.x, true)
+				bc.c.Backward(dout)
+			}
+			kernelReportMu.Lock()
+			kernelReports["ConvFwdBwd/"+bc.name] = &kernelReport{BlockedSecPerOp: b.Elapsed().Seconds() / float64(b.N)}
+			kernelReportMu.Unlock()
+		})
+	}
+	writeKernelBenchJSON(b)
+}
+
+// writeKernelBenchJSON persists everything accumulated so far; each benchmark
+// family rewrites the file, so a full-suite run leaves the complete report.
+func writeKernelBenchJSON(b *testing.B) {
+	kernelReportMu.Lock()
+	defer kernelReportMu.Unlock()
+	if len(kernelReports) == 0 {
+		return
+	}
+	path := os.Getenv("FEDCA_BENCH_KERNELS_JSON")
+	if path == "" {
+		path = "BENCH_kernels.json"
+	}
+	doc := struct {
+		Bench      string                   `json:"bench"`
+		CPUs       int                      `json:"cpus"`
+		GOMAXPROCS int                      `json:"gomaxprocs"`
+		Kernels    map[string]*kernelReport `json:"kernels"`
+	}{
+		Bench:      "kernels",
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Kernels:    kernelReports,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", path)
+}

@@ -1,0 +1,212 @@
+// Package cputok provides the process-wide CPU-token budget shared by every
+// parallelism layer in the repository: execpool cell admission, the fl
+// server's client-round workers, tensor's row-parallel GEMM and nn's
+// per-sample convolution fan-out all draw from the same pool of tokens.
+//
+// Before this budget existed each layer fanned out to GOMAXPROCS on its own,
+// so nested layers (a cell running a round running a kernel) could put up to
+// GOMAXPROCS² runnable goroutines on the scheduler. With one shared budget
+// the layers compose: whichever layer reaches a fan-out point first takes the
+// spare tokens, and inner layers fall back to running inline on their caller's
+// goroutine — which already holds (or is covered by) a token.
+//
+// Deadlock discipline: there are two acquisition modes and one rule.
+//
+//   - Acquire blocks until a token is free. It is reserved for top-level
+//     admission — a goroutine that holds no tokens yet (execpool admitting a
+//     cell). A goroutine must never call Acquire while holding tokens.
+//   - Borrow never blocks: a nested fan-out asks for up to n extra tokens and
+//     receives however many are free right now, possibly zero. The caller
+//     always keeps running on its own goroutine, so zero tokens simply means
+//     the fan-out degrades to the serial path.
+//
+// Because only token-free goroutines ever block, and every holder eventually
+// returns its tokens, there is no circular wait.
+//
+// Determinism: the budget bounds *how many* goroutines run, never *what they
+// compute*. Every fan-out in this repository partitions work so each output
+// element is written by exactly one worker with a fixed accumulation order,
+// so results are bit-identical at any token count (see DESIGN.md §11 and
+// fl's TestWorkerCountInvariance).
+package cputok
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge mirrors the number of tokens in flight into a telemetry gauge.
+// *telemetry.Gauge satisfies it; the indirection keeps this package
+// dependency-free.
+type Gauge interface {
+	Set(v float64)
+}
+
+// Budget is a resizable counting semaphore of CPU tokens. The zero value is
+// not usable; use NewBudget. Capacity <= 0 means "track runtime.GOMAXPROCS",
+// re-read on every acquisition, so tests that flip GOMAXPROCS see the budget
+// follow along.
+type Budget struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int // <= 0: track GOMAXPROCS dynamically
+	inUse    int
+
+	// maxInUse is the high-water mark of concurrently held tokens since the
+	// last ResetMax; tests use it to assert the goroutine bound.
+	maxInUse int
+
+	gauge atomic.Value // Gauge
+}
+
+// NewBudget builds a budget with the given capacity; capacity <= 0 tracks
+// runtime.GOMAXPROCS dynamically (the default for the process-wide budget).
+func NewBudget(capacity int) *Budget {
+	b := &Budget{capacity: capacity}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// budget is the process-wide instance.
+var budget = NewBudget(0)
+
+// Default returns the process-wide budget.
+func Default() *Budget { return budget }
+
+// cap returns the current capacity; callers hold b.mu.
+func (b *Budget) capLocked() int {
+	if b.capacity > 0 {
+		return b.capacity
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Cap returns the budget's current capacity (GOMAXPROCS when tracking).
+func (b *Budget) Cap() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capLocked()
+}
+
+// SetCap changes the capacity; n <= 0 returns to tracking GOMAXPROCS.
+// Shrinking never revokes tokens already out — the budget simply refuses new
+// acquisitions until enough are returned.
+func (b *Budget) SetCap(n int) {
+	b.mu.Lock()
+	b.capacity = n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Acquire blocks until a token is free and takes it. Top-level admission
+// only: never call while holding tokens (see the package deadlock rule).
+func (b *Budget) Acquire() {
+	b.mu.Lock()
+	for b.inUse >= b.capLocked() {
+		b.cond.Wait()
+	}
+	b.take(1)
+	b.mu.Unlock()
+}
+
+// TryAcquire takes a token if one is free, without blocking.
+func (b *Budget) TryAcquire() bool {
+	return b.Borrow(1) == 1
+}
+
+// Borrow takes up to n tokens without blocking and returns how many were
+// taken (possibly 0). A fan-out wanting w workers borrows w-1 extra tokens —
+// the calling goroutine is its own first worker — and must hand every
+// borrowed token back with Return.
+func (b *Budget) Borrow(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	free := b.capLocked() - b.inUse
+	if free <= 0 {
+		b.mu.Unlock()
+		return 0
+	}
+	if n > free {
+		n = free
+	}
+	b.take(n)
+	b.mu.Unlock()
+	return n
+}
+
+// Return hands back n tokens taken with Acquire, TryAcquire or Borrow.
+func (b *Budget) Return(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.inUse -= n
+	if b.inUse < 0 {
+		panic("cputok: more tokens returned than acquired")
+	}
+	b.setGauge(b.inUse)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Release returns one token (Acquire's counterpart).
+func (b *Budget) Release() { b.Return(1) }
+
+// take records n tokens out; callers hold b.mu.
+func (b *Budget) take(n int) {
+	b.inUse += n
+	if b.inUse > b.maxInUse {
+		b.maxInUse = b.inUse
+	}
+	b.setGauge(b.inUse)
+}
+
+// Inflight returns the number of tokens currently held.
+func (b *Budget) Inflight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// MaxInflight returns the high-water mark of concurrently held tokens since
+// the last ResetMax.
+func (b *Budget) MaxInflight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxInUse
+}
+
+// ResetMax resets the high-water mark to the current in-flight count.
+func (b *Budget) ResetMax() {
+	b.mu.Lock()
+	b.maxInUse = b.inUse
+	b.mu.Unlock()
+}
+
+// SetGauge attaches a telemetry gauge mirroring the in-flight token count
+// (fedca_cputok_inflight). The latest attached gauge wins; nil detaches. The
+// gauge is set to the current count immediately.
+func (b *Budget) SetGauge(g Gauge) {
+	b.mu.Lock()
+	inUse := b.inUse
+	b.gauge.Store(gaugeBox{g})
+	b.mu.Unlock()
+	if g != nil {
+		g.Set(float64(inUse))
+	}
+}
+
+// gaugeBox wraps the interface so atomic.Value tolerates differing dynamic
+// types (including nil).
+type gaugeBox struct{ g Gauge }
+
+func (b *Budget) setGauge(inUse int) {
+	if v := b.gauge.Load(); v != nil {
+		if box := v.(gaugeBox); box.g != nil {
+			box.g.Set(float64(inUse))
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package cputok
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBorrowNeverExceedsCap(t *testing.T) {
+	b := NewBudget(3)
+	if got := b.Borrow(5); got != 3 {
+		t.Fatalf("Borrow(5) on cap 3 = %d, want 3", got)
+	}
+	if got := b.Borrow(1); got != 0 {
+		t.Fatalf("Borrow on exhausted budget = %d, want 0", got)
+	}
+	b.Return(2)
+	if got := b.Borrow(5); got != 2 {
+		t.Fatalf("Borrow after partial return = %d, want 2", got)
+	}
+	b.Return(3)
+	if n := b.Inflight(); n != 0 {
+		t.Fatalf("Inflight after full return = %d, want 0", n)
+	}
+}
+
+func TestBorrowNonPositive(t *testing.T) {
+	b := NewBudget(2)
+	if got := b.Borrow(0); got != 0 {
+		t.Fatalf("Borrow(0) = %d, want 0", got)
+	}
+	if got := b.Borrow(-3); got != 0 {
+		t.Fatalf("Borrow(-3) = %d, want 0", got)
+	}
+	b.Return(0) // no-op, must not panic
+}
+
+func TestTryAcquire(t *testing.T) {
+	b := NewBudget(1)
+	if !b.TryAcquire() {
+		t.Fatal("TryAcquire on fresh budget must succeed")
+	}
+	if b.TryAcquire() {
+		t.Fatal("TryAcquire on exhausted budget must fail")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("TryAcquire after Release must succeed")
+	}
+	b.Release()
+}
+
+func TestAcquireBlocksUntilReturn(t *testing.T) {
+	b := NewBudget(1)
+	b.Acquire()
+	acquired := make(chan struct{})
+	go func() {
+		b.Acquire()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Acquire must block while the token is held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Acquire did not wake after Release")
+	}
+	b.Release()
+}
+
+func TestSetCapWakesWaiters(t *testing.T) {
+	b := NewBudget(1)
+	b.Acquire()
+	acquired := make(chan struct{})
+	go func() {
+		b.Acquire()
+		close(acquired)
+	}()
+	b.SetCap(2)
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("raising capacity did not admit the waiter")
+	}
+	b.Return(2)
+}
+
+func TestTracksGOMAXPROCS(t *testing.T) {
+	b := NewBudget(0)
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(1)
+	if got := b.Cap(); got != 1 {
+		t.Fatalf("Cap at GOMAXPROCS=1 = %d, want 1", got)
+	}
+	runtime.GOMAXPROCS(2)
+	if got := b.Cap(); got != 2 {
+		t.Fatalf("Cap at GOMAXPROCS=2 = %d, want 2", got)
+	}
+	// An explicit capacity overrides tracking; <= 0 restores it.
+	b.SetCap(7)
+	if got := b.Cap(); got != 7 {
+		t.Fatalf("Cap after SetCap(7) = %d, want 7", got)
+	}
+	b.SetCap(0)
+	if got := b.Cap(); got != 2 {
+		t.Fatalf("Cap after SetCap(0) = %d, want GOMAXPROCS (2)", got)
+	}
+}
+
+func TestMaxInflightWatermark(t *testing.T) {
+	b := NewBudget(4)
+	b.Borrow(3)
+	b.Return(2)
+	if got := b.MaxInflight(); got != 3 {
+		t.Fatalf("MaxInflight = %d, want 3", got)
+	}
+	b.ResetMax()
+	if got := b.MaxInflight(); got != 1 {
+		t.Fatalf("MaxInflight after ResetMax = %d, want current in-flight 1", got)
+	}
+	b.Return(1)
+}
+
+func TestOverReturnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("returning more tokens than acquired must panic")
+		}
+	}()
+	NewBudget(2).Return(1)
+}
+
+type fakeGauge struct{ v atomic.Value }
+
+func (g *fakeGauge) Set(v float64) { g.v.Store(v) }
+func (g *fakeGauge) get() float64 {
+	if v := g.v.Load(); v != nil {
+		return v.(float64)
+	}
+	return -1
+}
+
+func TestGaugeMirrorsInflight(t *testing.T) {
+	b := NewBudget(4)
+	g := &fakeGauge{}
+	b.SetGauge(g)
+	if got := g.get(); got != 0 {
+		t.Fatalf("gauge after attach = %v, want 0", got)
+	}
+	b.Borrow(3)
+	if got := g.get(); got != 3 {
+		t.Fatalf("gauge after Borrow(3) = %v, want 3", got)
+	}
+	b.Return(2)
+	if got := g.get(); got != 1 {
+		t.Fatalf("gauge after Return(2) = %v, want 1", got)
+	}
+	b.SetGauge(nil) // detach must not panic on later traffic
+	b.Return(1)
+}
+
+// TestConcurrentBorrowBound hammers the budget from many goroutines and
+// asserts the invariant the whole design rests on: the number of tokens in
+// flight never exceeds the capacity, under any interleaving.
+func TestConcurrentBorrowBound(t *testing.T) {
+	const cap = 3
+	b := NewBudget(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := b.Borrow(1 + (seed+i)%cap)
+				if got := b.Inflight(); got > cap {
+					t.Errorf("inflight %d exceeds cap %d", got, cap)
+				}
+				if n > 0 {
+					runtime.Gosched()
+					b.Return(n)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.MaxInflight(); got > cap {
+		t.Fatalf("MaxInflight %d exceeds cap %d", got, cap)
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("tokens leaked: inflight = %d", got)
+	}
+}
+
+func TestDefaultIsProcessWide(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return one process-wide budget")
+	}
+	if Default().Cap() < 1 {
+		t.Fatalf("default budget capacity %d < 1", Default().Cap())
+	}
+}

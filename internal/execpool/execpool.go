@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fedca/internal/cputok"
 	"fedca/internal/telemetry"
 )
 
@@ -91,7 +92,7 @@ type Pool struct {
 
 	tel struct {
 		computed, memHits, diskHits, dedupWaits, diskErrors, diskWrites *telemetry.Counter
-		inflight                                                       *telemetry.Gauge
+		inflight                                                        *telemetry.Gauge
 	}
 }
 
@@ -230,7 +231,14 @@ func Do[T any](p *Pool, spec Spec, compute func() T) T {
 				p.count(&p.diskErrors, p.tel.diskErrors)
 			}
 		}
+		// Admission is two-level: the pool-local token bounds this pool's
+		// concurrency, then one process-wide CPU token is acquired (blocking —
+		// cell admission is the only top-level, token-free point in the
+		// hierarchy, so waiting here cannot deadlock). Nested fan-outs inside
+		// compute (client rounds, GEMM rows, conv samples) borrow additional
+		// tokens non-blockingly from the same budget.
 		p.tokens <- struct{}{}
+		cputok.Default().Acquire()
 		p.running.Add(1)
 		if p.tel.inflight != nil {
 			p.tel.inflight.Add(1)
@@ -240,6 +248,7 @@ func Do[T any](p *Pool, spec Spec, compute func() T) T {
 			if p.tel.inflight != nil {
 				p.tel.inflight.Add(-1)
 			}
+			cputok.Default().Release()
 			<-p.tokens
 		}()
 		v = compute()

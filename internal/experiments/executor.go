@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"runtime"
 	"sync"
 
+	"fedca/internal/cputok"
 	"fedca/internal/execpool"
 )
 
@@ -53,8 +53,10 @@ func ExecStats() execpool.Stats { return pool().Stats() }
 // on-disk cache, being content-addressed, is left intact.
 func ResetCache() { pool().Reset() }
 
-// DefaultWorkers is the executor's default CPU-token budget.
-func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+// DefaultWorkers is the executor's default cell-admission width: the
+// capacity of the process-wide CPU-token budget every compute layer draws
+// from (cputok tracks GOMAXPROCS unless overridden with SetCap).
+func DefaultWorkers() int { return cputok.Default().Cap() }
 
 func pool() *execpool.Pool {
 	execMu.RLock()

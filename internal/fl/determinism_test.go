@@ -1,11 +1,14 @@
 package fl_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
 	"fedca/internal/baseline"
 	"fedca/internal/chaos"
+	"fedca/internal/cputok"
+	"fedca/internal/execpool"
 	"fedca/internal/expcfg"
 	"fedca/internal/fl"
 	"fedca/internal/telemetry"
@@ -80,5 +83,64 @@ func TestWorkerCountInvariance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWorkerCountInvarianceCellsAndKernels exercises every layer of the
+// CPU-token hierarchy at once: execpool cells run concurrently, and inside
+// each cell the client-round fan-out, the GEMM row fan-out and the conv
+// sample fan-out all borrow from the same process-wide budget. The contract
+// is twofold: (1) results are bit-identical at a 1-token budget and at a
+// many-token budget, and (2) the number of tokens ever held simultaneously —
+// a proxy for compute goroutines — never exceeds the budget's capacity.
+func TestWorkerCountInvarianceCellsAndKernels(t *testing.T) {
+	const cells = 3
+	budget := cputok.Default()
+	run := func(tokens int) [][]float64 {
+		budget.SetCap(tokens)
+		defer budget.SetCap(0)
+		budget.ResetMax()
+		pool := execpool.New(execpool.Options{Workers: cells})
+		results := make([][]float64, cells)
+		fns := make([]func(), cells)
+		for i := range fns {
+			i := i
+			fns[i] = func() {
+				results[i] = execpool.Do(pool, execpool.Spec{Kind: "invariance", Key: fmt.Sprintf("cell-%d", i)}, func() []float64 {
+					w := tinyWorkload()
+					tb := expcfg.Build(w, 6, trace.PaperConfig(), 50+uint64(i))
+					r, err := tb.NewRunner(baseline.FedAvg{})
+					if err != nil {
+						panic(err)
+					}
+					r.RunRound()
+					r.RunRound()
+					return r.GlobalFlat()
+				})
+			}
+		}
+		pool.Prefetch(fns...)
+		if held := budget.MaxInflight(); held > tokens {
+			t.Fatalf("budget cap %d, but %d tokens were held at once", tokens, held)
+		}
+		return results
+	}
+	many := runtime.NumCPU()
+	if many < 8 {
+		// A 1-CPU box would otherwise compare serial against serial; the
+		// budget cap is independent of the core count, so force real fan-out.
+		many = 8
+	}
+	serial := run(1)
+	parallel := run(many)
+	for c := range serial {
+		if len(serial[c]) == 0 || len(serial[c]) != len(parallel[c]) {
+			t.Fatalf("cell %d: param vectors missing or mismatched (%d vs %d)", c, len(serial[c]), len(parallel[c]))
+		}
+		for i := range serial[c] {
+			if serial[c][i] != parallel[c][i] {
+				t.Fatalf("cell %d param %d differs between token budgets", c, i)
+			}
+		}
 	}
 }

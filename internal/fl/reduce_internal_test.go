@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"fedca/internal/cputok"
 )
 
 func randomUpdates(r *rand.Rand, clients, n int) ([]Update, float64) {
@@ -41,6 +43,11 @@ func serialReduce(flat []float64, collected []Update, totalW float64) {
 // parameter counts that do and don't clear the minReduceShard gate and shard
 // boundaries that don't divide evenly.
 func TestWeightedReduceDeterministic(t *testing.T) {
+	// Raise the shared token budget above this box's core count so the
+	// parallel shard paths are actually exercised even on a 1-CPU runner;
+	// determinism must hold at every borrowed-worker count anyway.
+	cputok.Default().SetCap(16)
+	defer cputok.Default().SetCap(0)
 	r := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 7, minReduceShard, 10 * minReduceShard} {
 		for _, clients := range []int{1, 3, 9} {

@@ -3,10 +3,10 @@ package fl
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
+	"fedca/internal/cputok"
 	"fedca/internal/data"
 	"fedca/internal/nn"
 	"fedca/internal/telemetry"
@@ -82,9 +82,15 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 	if err := cfg.Validate(global.NumParams()); err != nil {
 		return nil, err
 	}
-	nWorkers := runtime.GOMAXPROCS(0)
+	// One network per potential worker, sized by the CPU-token budget at
+	// construction. At round time the runner borrows tokens for however many
+	// of these it may actually run concurrently.
+	nWorkers := cputok.Default().Cap()
 	if nWorkers > len(clients) {
 		nWorkers = len(clients)
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
 	}
 	workers := make([]*nn.Network, nWorkers)
 	bufs := make([]*RoundBuffers, nWorkers)
@@ -189,29 +195,42 @@ func (r *Runner) RunRound() RoundResult {
 	}
 
 	// Clients run in parallel; each worker owns one network and one scratch
-	// buffer set. Results land in a slice indexed by participant, so the
-	// outcome is order-independent.
+	// buffer set. Extra workers are borrowed from the shared CPU-token budget
+	// — the calling goroutine is always the first worker, so a spent budget
+	// (every token held by sibling experiment cells) degrades to the serial
+	// path instead of oversubscribing. Results land in a slice indexed by
+	// participant, so the outcome is order-independent.
 	updates := make([]Update, len(participants))
+	maxWorkers := len(r.workers)
+	if maxWorkers > len(participants) {
+		maxWorkers = len(participants)
+	}
+	borrowed := cputok.Default().Borrow(maxWorkers - 1)
 	var next int
 	var mu sync.Mutex
+	clientWorker := func(net *nn.Network, bufs *RoundBuffers) {
+		for {
+			mu.Lock()
+			i := next
+			next++
+			mu.Unlock()
+			if i >= len(participants) {
+				return
+			}
+			updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs, anchor)
+		}
+	}
 	var wg sync.WaitGroup
-	wg.Add(len(r.workers))
-	for w := 0; w < len(r.workers); w++ {
+	wg.Add(borrowed)
+	for w := 1; w <= borrowed; w++ {
 		go func(net *nn.Network, bufs *RoundBuffers) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(participants) {
-					return
-				}
-				updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs, anchor)
-			}
+			clientWorker(net, bufs)
 		}(r.workers[w], r.bufs[w])
 	}
+	clientWorker(r.workers[0], r.bufs[0])
 	wg.Wait()
+	cputok.Default().Return(borrowed)
 
 	// Partial aggregation: earliest AggregateFraction of updates.
 	order := make([]int, len(updates))
@@ -414,7 +433,10 @@ const minReduceShard = 2048
 
 // weightedReduce adds the weight-normalized (by totalW) mean of the
 // collected deltas to flat, fanning the parameter dimension out over at most
-// workers goroutines with agg (len == len(flat)) as the accumulator.
+// workers goroutines with agg (len == len(flat)) as the accumulator. The
+// extra goroutines beyond the caller are borrowed from the shared CPU-token
+// budget, so the reduce never oversubscribes cores already claimed by
+// sibling cells; a spent budget degrades to the serial loop.
 //
 // Each shard owns a disjoint index range and accumulates clients in slice
 // order, so every element sees exactly the floating-point operation sequence
@@ -440,18 +462,23 @@ func weightedReduce(flat, agg []float64, collected []Update, totalW float64, wor
 	if workers > n/minReduceShard {
 		workers = n / minReduceShard
 	}
+	if workers > 1 {
+		workers = 1 + cputok.Default().Borrow(workers-1)
+		defer cputok.Default().Return(workers - 1)
+	}
 	if workers <= 1 {
 		reduceRange(0, n)
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
 		go func(lo, hi int) {
 			defer wg.Done()
 			reduceRange(lo, hi)
 		}(w*n/workers, (w+1)*n/workers)
 	}
+	reduceRange(0, n/workers)
 	wg.Wait()
 }
 

@@ -16,9 +16,9 @@ type Conv2D struct {
 
 // convScratch is per-worker scratch reused across samples.
 type convScratch struct {
-	col  *tensor.Tensor // [pos, patch]
-	dcol *tensor.Tensor // [pos, patch]
-	out  *tensor.Tensor // [outC, pos] view buffer for backward weight grads
+	col    *tensor.Tensor  // forward: [pos, patch] patch matrix, operand B of the NT GEMM
+	dcol   *tensor.Tensor  // backward: [pos, patch] patch-gradient matrix
+	packed *tensor.PackedB // backward: patch matrix in packed-panel form (fused im2col)
 }
 
 // NewConv2D creates a convolution layer with parameters "<name>.weight" and
@@ -48,9 +48,11 @@ func (c *Conv2D) InDim() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
 // OutDim returns the per-sample output feature count.
 func (c *Conv2D) OutDim() int { return c.OutC * c.Geom.OutH * c.Geom.OutW }
 
-// heavy reports whether the batch convolution is worth parallelizing.
+// heavy reports whether the batch convolution is worth parallelizing, using
+// the same MAC-count threshold as the GEMM kernels so the sample fan-out and
+// the row fan-out agree on what justifies a goroutine.
 func (c *Conv2D) heavy(batch int) bool {
-	return batch*c.Geom.ColRows()*c.Geom.ColCols()*c.OutC > 1<<16
+	return batch*c.Geom.ColRows()*c.Geom.ColCols()*c.OutC > tensor.ParallelThreshold
 }
 
 // Forward computes the convolution for each sample in the batch.
@@ -105,14 +107,16 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	dWs := make([]float64, batch*c.OutC*patch)
 	dBs := make([]float64, batch*c.OutC)
 	parallelSamples(batch, c.heavy(batch), func() interface{} {
-		return &convScratch{col: tensor.New(pos, patch), dcol: tensor.New(pos, patch)}
+		return &convScratch{packed: tensor.NewPackedB(pos, patch), dcol: tensor.New(pos, patch)}
 	}, func(i int, scratch interface{}) {
 		s := scratch.(*convScratch)
-		c.Geom.Im2Col(xd[i*inDim:(i+1)*inDim], s.col.Data())
+		// Fused im2col + pack: the patch matrix is produced once per sample,
+		// directly in the panel layout the dW GEMM consumes as operand B.
+		c.Geom.Im2ColPacked(xd[i*inDim:(i+1)*inDim], s.packed)
 		doutS := tensor.FromSlice(dd[i*outDim:(i+1)*outDim], c.OutC, pos)
 		// dW_i[outC,patch] = dout_i[outC,pos] · col[pos,patch]
 		dWi := tensor.FromSlice(dWs[i*c.OutC*patch:(i+1)*c.OutC*patch], c.OutC, patch)
-		tensor.MatMul(dWi, doutS, s.col)
+		tensor.MatMulPacked(dWi, doutS, s.packed)
 		// db_i[oc] = Σ_pos dout_i[oc,pos]
 		dsd := doutS.Data()
 		for oc := 0; oc < c.OutC; oc++ {

@@ -1,9 +1,10 @@
 package nn
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"fedca/internal/cputok"
 )
 
 // parallelSamples runs fn(i) for i in [0, n), fanning out across workers when
@@ -11,11 +12,16 @@ import (
 // processed by exactly one worker, so any writes partitioned by i are
 // race-free and the result is independent of scheduling.
 //
+// Extra workers are borrowed from the process-wide CPU-token budget
+// (internal/cputok): the calling goroutine is always the first worker, and
+// when the budget is spent — e.g. every token is held by sibling experiment
+// cells or client-round workers — the fan-out degrades to the serial path
+// instead of oversubscribing the scheduler.
+//
 // makeScratch, if non-nil, allocates per-worker scratch passed to fn; this
 // lets convolution reuse one im2col buffer per worker instead of per sample.
 func parallelSamples(n int, heavy bool, makeScratch func() interface{}, fn func(i int, scratch interface{})) {
-	workers := runtime.GOMAXPROCS(0)
-	if !heavy || workers <= 1 || n <= 1 {
+	serial := func() {
 		var scratch interface{}
 		if makeScratch != nil {
 			scratch = makeScratch()
@@ -23,35 +29,47 @@ func parallelSamples(n int, heavy bool, makeScratch func() interface{}, fn func(
 		for i := 0; i < n; i++ {
 			fn(i, scratch)
 		}
+	}
+	if !heavy || n <= 1 {
+		serial()
 		return
 	}
-	if workers > n {
-		workers = n
+	budget := cputok.Default()
+	want := budget.Cap()
+	if want > n {
+		want = n
+	}
+	borrowed := budget.Borrow(want - 1)
+	if borrowed == 0 {
+		serial()
+		return
 	}
 	// The work index is claimed with a single atomic increment: this sits on
 	// the per-sample hot path, where a mutex handoff costs more than the
 	// sample's arithmetic for small kernels.
 	var next atomic.Int64
-	takeNext := func() int {
-		return int(next.Add(1) - 1)
+	work := func() {
+		var scratch interface{}
+		if makeScratch != nil {
+			scratch = makeScratch()
+		}
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			fn(i, scratch)
+		}
 	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(borrowed)
+	for w := 0; w < borrowed; w++ {
 		go func() {
 			defer wg.Done()
-			var scratch interface{}
-			if makeScratch != nil {
-				scratch = makeScratch()
-			}
-			for {
-				i := takeNext()
-				if i >= n {
-					return
-				}
-				fn(i, scratch)
-			}
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
+	budget.Return(borrowed)
 }

@@ -43,6 +43,14 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		p.argmax = make([]int32, batch*outDim)
 		p.batch = batch
+	} else {
+		// An eval-mode forward invalidates any earlier training pass: leaving
+		// stale argmax/batch here would let a later Backward silently route
+		// gradients with the old batch's winner indices (or index out of
+		// bounds if the batch shrank). Backward after an eval forward must
+		// panic, exactly like Backward with no forward at all.
+		p.argmax = nil
+		p.batch = 0
 	}
 	xd, yd := x.Data(), y.Data()
 	for i := 0; i < batch; i++ {

@@ -1,5 +1,7 @@
 package telemetry
 
+import "fedca/internal/cputok"
+
 // Sink bundles one run's metrics registry and span tracer and pre-registers
 // the simulator's metric set. A nil *Sink is the disabled state: every entry
 // point the round loop touches is nil-safe and allocation-free, so
@@ -74,6 +76,10 @@ func New() *Sink {
 		TransferSeconds: reg.Histogram("fedca_transfer_seconds", "Virtual airtime of one link transfer (queueing excluded).", ExpBuckets(0.001, 2, 20)),
 		ClientIters:     reg.Histogram("fedca_client_round_iterations", "Local iterations completed per client-round.", ExpBuckets(1, 2, 10)),
 	}
+	// Mirror the process-wide CPU-token budget into this run's registry. The
+	// budget is a singleton, so when several sinks coexist the most recently
+	// constructed one observes it — acceptable for a diagnostic gauge.
+	cputok.Default().SetGauge(reg.Gauge("fedca_cputok_inflight", "CPU tokens currently held process-wide (admitted cells plus borrowed nested workers)."))
 	s.up = LinkObserver{bytes: s.UplinkBytes, transfers: s.LinkTransfers, retries: s.LinkRetries, impair: s.Impairments, airtime: s.TransferSeconds}
 	s.down = LinkObserver{bytes: s.DownlinkBytes, transfers: s.LinkTransfers, retries: s.LinkRetries, impair: s.Impairments, airtime: s.TransferSeconds}
 	s.tracer.NameTrack(ServerTrack, "server")

@@ -2,34 +2,90 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
+
+	"fedca/internal/cputok"
 )
 
-// parallelThreshold is the minimum number of multiply-accumulate operations
-// (m*n*k) below which MatMul stays single-threaded. Spawning goroutines for
-// tiny products costs more than it saves.
-const parallelThreshold = 1 << 17
+// ParallelThreshold is the minimum number of multiply-accumulate operations
+// (m·n·k for a GEMM, batch·pos·patch·outC for a batched convolution) below
+// which a kernel stays single-threaded: spawning goroutines for tiny products
+// costs more than it saves. It is the one threshold shared by every
+// parallelism decision in the math floor (tensor.parallelRows and
+// nn.parallelSamples), so the two layers agree on what "heavy" means.
+const ParallelThreshold = 1 << 17
+
+// Micro-kernel tile sizes. gemmMR×gemmNR accumulators live in registers
+// across the whole k loop: 8 independent accumulation chains hide the FP add
+// latency, and each loaded A/B value is reused gemmNR/gemmMR times, cutting
+// memory traffic per MAC ~4× versus the naive i-k-j loop.
+const (
+	gemmMR = 2
+	gemmNR = 4
+)
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing into
-// dst (m×n). dst must not alias A or B. Rows of C are computed in parallel
-// across GOMAXPROCS workers for large products; results are identical at any
-// worker count because each row is written by exactly one worker.
+// dst (m×n). dst must not alias A or B. B is packed once into gemmNR-wide
+// column panels shared read-only by every row block; rows of C are then
+// computed in parallel across workers borrowed from the process CPU-token
+// budget (internal/cputok). Results are bit-identical at any token count:
+// each output row is written by exactly one worker, and every element
+// accumulates its products in ascending-k order regardless of tiling.
 func MatMul(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, false, false)
-	gemmNN(dst.data, a.data, b.data, m, k, n)
+	packed := getPack(packLen(k, n))
+	packPanels(packed, b.data, k, n)
+	gemmNNPacked(dst.data, a.data, packed, m, k, n)
+	putPack(packed)
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), dst is (m×n).
 func MatMulTransA(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, true, false)
-	gemmTN(dst.data, a.data, b.data, m, k, n)
+	packed := getPack(packLen(k, n))
+	packPanels(packed, b.data, k, n)
+	gemmTNPacked(dst.data, a.data, packed, m, k, n)
+	putPack(packed)
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is (m×k), B is (n×k), dst is (m×n).
+// B's rows are already contiguous k-length panels (for convolution, the
+// im2col patch matrix arrives in exactly this layout), so no packing pass is
+// needed.
 func MatMulTransB(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, false, true)
 	gemmNT(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulRef is the unblocked reference kernel: the textbook triple loop with
+// no tiling, no packing and no skips, accumulating each output element in
+// ascending-k order. Tests and the kernel benchmarks compare the blocked
+// kernels against it — for finite inputs the blocked kernels are
+// bit-identical (same products, same accumulation order), and for NaN/Inf
+// inputs they must agree too (no zero-skip may mask 0×Inf = NaN).
+func MatMulRef(dst, a, b *Tensor, transA, transB bool) {
+	m, k, n := checkMatMul(dst, a, b, transA, transB)
+	at := func(i, p int) float64 {
+		if transA {
+			return a.data[p*m+i]
+		}
+		return a.data[i*k+p]
+	}
+	bt := func(p, j int) float64 {
+		if transB {
+			return b.data[j*k+p]
+		}
+		return b.data[p*n+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			dst.data[i*n+j] = s
+		}
+	}
 }
 
 func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
@@ -53,20 +109,29 @@ func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
 	return am, ak, bn
 }
 
-// parallelRows runs fn(lo, hi) over row blocks [0,m) using up to
-// GOMAXPROCS workers when work (total MACs) exceeds the threshold.
+// parallelRows runs fn(lo, hi) over row blocks [0,m), borrowing extra
+// workers from the shared CPU-token budget when work (total MACs) exceeds
+// ParallelThreshold. The calling goroutine is always the first worker, so a
+// fully spent budget degrades to the serial path instead of blocking.
 func parallelRows(m int, work int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || m <= 1 {
+	if work < ParallelThreshold || m <= 1 {
 		fn(0, m)
 		return
 	}
-	if workers > m {
-		workers = m
+	budget := cputok.Default()
+	want := budget.Cap()
+	if want > m {
+		want = m
 	}
-	var wg sync.WaitGroup
+	borrowed := budget.Borrow(want - 1)
+	if borrowed == 0 {
+		fn(0, m)
+		return
+	}
+	workers := borrowed + 1
 	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
+	var wg sync.WaitGroup
+	for lo := chunk; lo < m; lo += chunk {
 		hi := lo + chunk
 		if hi > m {
 			hi = m
@@ -77,70 +142,297 @@ func parallelRows(m int, work int, fn func(lo, hi int)) {
 			fn(lo, hi)
 		}(lo, hi)
 	}
+	fn(0, min(chunk, m))
 	wg.Wait()
+	budget.Return(borrowed)
 }
 
-// gemmNN: C[m×n] = A[m×k] · B[k×n]. Inner loops are ordered i-k-j so the
-// innermost loop streams both B's row and C's row, which the compiler
-// vectorizes well and which is cache-friendly for row-major storage.
-func gemmNN(c, a, b []float64, m, k, n int) {
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			ai := a[i*k : (i+1)*k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
+// ---- packed-panel layout ----------------------------------------------------
+//
+// B (k×n, row-major) is repacked into ⌈n/gemmNR⌉ panels. Panel pj holds
+// columns [pj·NR, pj·NR+NR) as k consecutive NR-wide rows:
+//
+//	packed[pj·k·NR + p·NR + jj] = B[p][pj·NR + jj]
+//
+// so the micro-kernel streams one perfectly contiguous panel per output tile
+// instead of striding across B's full row length. Panels past n's edge are
+// zero-filled; the micro-kernel computes the padded columns and simply never
+// stores them. The pack runs once per GEMM and is shared read-only by every
+// row block and worker.
+
+func packLen(k, n int) int { return k * ((n + gemmNR - 1) / gemmNR) * gemmNR }
+
+func packPanels(dst, b []float64, k, n int) {
+	np := (n + gemmNR - 1) / gemmNR
+	for pj := 0; pj < np; pj++ {
+		j0 := pj * gemmNR
+		w := n - j0
+		if w > gemmNR {
+			w = gemmNR
 		}
-	})
-}
-
-// gemmTN: C[m×n] = Aᵀ · B with A stored as [k×m], B as [k×n].
-func gemmTN(c, a, b []float64, m, k, n int) {
-	parallelRows(m, m*n*k, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
+		out := dst[pj*k*gemmNR : (pj+1)*k*gemmNR]
+		if w == gemmNR {
 			for p := 0; p < k; p++ {
-				av := a[p*m+i]
-				if av == 0 {
-					continue
+				row := b[p*n+j0 : p*n+j0+gemmNR : p*n+j0+gemmNR]
+				o := p * gemmNR
+				out[o] = row[0]
+				out[o+1] = row[1]
+				out[o+2] = row[2]
+				out[o+3] = row[3]
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			o := p * gemmNR
+			for jj := 0; jj < w; jj++ {
+				out[o+jj] = b[p*n+j0+jj]
+			}
+			for jj := w; jj < gemmNR; jj++ {
+				out[o+jj] = 0
+			}
+		}
+	}
+}
+
+// packScratch pools pack buffers so steady-state GEMMs allocate nothing.
+var packScratch sync.Pool
+
+func getPack(n int) []float64 {
+	if v := packScratch.Get(); v != nil {
+		if s := v.([]float64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putPack(s []float64) { packScratch.Put(s) } //nolint:staticcheck // slice header allocation is amortized
+
+// ---- NN: C[m×n] = A[m×k] · B[k×n] -------------------------------------------
+
+func gemmNNPacked(c, a, packed []float64, m, k, n int) {
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		i := lo
+		for ; i+gemmMR <= hi; i += gemmMR {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			for pj := 0; pj*gemmNR < n; pj++ {
+				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
+				var acc00, acc01, acc02, acc03 float64
+				var acc10, acc11, acc12, acc13 float64
+				for p := 0; p < k; p++ {
+					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
+					av0, av1 := a0[p], a1[p]
+					b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+					acc00 += av0 * b0
+					acc01 += av0 * b1
+					acc02 += av0 * b2
+					acc03 += av0 * b3
+					acc10 += av1 * b0
+					acc11 += av1 * b1
+					acc12 += av1 * b2
+					acc13 += av1 * b3
 				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
+				storeTile(c, n, i, pj*gemmNR, acc00, acc01, acc02, acc03)
+				storeTile(c, n, i+1, pj*gemmNR, acc10, acc11, acc12, acc13)
+			}
+		}
+		for ; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			for pj := 0; pj*gemmNR < n; pj++ {
+				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
+				var acc0, acc1, acc2, acc3 float64
+				for p := 0; p < k; p++ {
+					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
+					av := ai[p]
+					acc0 += av * bp[0]
+					acc1 += av * bp[1]
+					acc2 += av * bp[2]
+					acc3 += av * bp[3]
 				}
+				storeTile(c, n, i, pj*gemmNR, acc0, acc1, acc2, acc3)
 			}
 		}
 	})
 }
 
-// gemmNT: C[m×n] = A · Bᵀ with A stored as [m×k], B as [n×k]. Each output
-// element is a dot product of two contiguous rows.
+// storeTile writes one row of a gemmNR-wide accumulator tile into C, dropping
+// the zero-padded columns past n's edge.
+func storeTile(c []float64, n, i, j0 int, v0, v1, v2, v3 float64) {
+	ci := c[i*n : (i+1)*n]
+	switch n - j0 {
+	case 1:
+		ci[j0] = v0
+	case 2:
+		ci[j0], ci[j0+1] = v0, v1
+	case 3:
+		ci[j0], ci[j0+1], ci[j0+2] = v0, v1, v2
+	default:
+		ci[j0], ci[j0+1], ci[j0+2], ci[j0+3] = v0, v1, v2, v3
+	}
+}
+
+// ---- TN: C[m×n] = Aᵀ · B with A stored as [k×m], B as [k×n] -----------------
+
+func gemmTNPacked(c, a, packed []float64, m, k, n int) {
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		i := lo
+		for ; i+gemmMR <= hi; i += gemmMR {
+			for pj := 0; pj*gemmNR < n; pj++ {
+				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
+				var acc00, acc01, acc02, acc03 float64
+				var acc10, acc11, acc12, acc13 float64
+				for p := 0; p < k; p++ {
+					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
+					av0, av1 := a[p*m+i], a[p*m+i+1]
+					b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+					acc00 += av0 * b0
+					acc01 += av0 * b1
+					acc02 += av0 * b2
+					acc03 += av0 * b3
+					acc10 += av1 * b0
+					acc11 += av1 * b1
+					acc12 += av1 * b2
+					acc13 += av1 * b3
+				}
+				storeTile(c, n, i, pj*gemmNR, acc00, acc01, acc02, acc03)
+				storeTile(c, n, i+1, pj*gemmNR, acc10, acc11, acc12, acc13)
+			}
+		}
+		for ; i < hi; i++ {
+			for pj := 0; pj*gemmNR < n; pj++ {
+				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
+				var acc0, acc1, acc2, acc3 float64
+				for p := 0; p < k; p++ {
+					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
+					av := a[p*m+i]
+					acc0 += av * bp[0]
+					acc1 += av * bp[1]
+					acc2 += av * bp[2]
+					acc3 += av * bp[3]
+				}
+				storeTile(c, n, i, pj*gemmNR, acc0, acc1, acc2, acc3)
+			}
+		}
+	})
+}
+
+// ---- NT: C[m×n] = A · Bᵀ with A stored as [m×k], B as [n×k] -----------------
+//
+// Both operands' rows are contiguous k-vectors, so B needs no packing — each
+// row of B is already a panel. This is the convolution-forward kernel: the
+// im2col patch matrix is operand B, produced once per sample in exactly this
+// layout.
+
 func gemmNT(c, a, b []float64, m, k, n int) {
 	parallelRows(m, m*n*k, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+gemmMR <= hi; i += gemmMR {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			c0 := c[i*n : (i+1)*n]
+			c1 := c[(i+1)*n : (i+2)*n]
+			j := 0
+			for ; j+gemmNR <= n; j += gemmNR {
+				b0 := b[j*k : (j+1)*k]
+				b1 := b[(j+1)*k : (j+2)*k]
+				b2 := b[(j+2)*k : (j+3)*k]
+				b3 := b[(j+3)*k : (j+4)*k]
+				var acc00, acc01, acc02, acc03 float64
+				var acc10, acc11, acc12, acc13 float64
+				for p := 0; p < k; p++ {
+					av0, av1 := a0[p], a1[p]
+					bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+					acc00 += av0 * bv0
+					acc01 += av0 * bv1
+					acc02 += av0 * bv2
+					acc03 += av0 * bv3
+					acc10 += av1 * bv0
+					acc11 += av1 * bv1
+					acc12 += av1 * bv2
+					acc13 += av1 * bv3
+				}
+				c0[j], c0[j+1], c0[j+2], c0[j+3] = acc00, acc01, acc02, acc03
+				c1[j], c1[j+1], c1[j+2], c1[j+3] = acc10, acc11, acc12, acc13
+			}
+			for ; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var s0, s1 float64
+				for p := 0; p < k; p++ {
+					s0 += a0[p] * bj[p]
+					s1 += a1[p] * bj[p]
+				}
+				c0[j], c1[j] = s0, s1
+			}
+		}
+		for ; i < hi; i++ {
 			ai := a[i*k : (i+1)*k]
 			ci := c[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
+			j := 0
+			for ; j+gemmNR <= n; j += gemmNR {
+				b0 := b[j*k : (j+1)*k]
+				b1 := b[(j+1)*k : (j+2)*k]
+				b2 := b[(j+2)*k : (j+3)*k]
+				b3 := b[(j+3)*k : (j+4)*k]
+				var acc0, acc1, acc2, acc3 float64
+				for p := 0; p < k; p++ {
+					av := ai[p]
+					acc0 += av * b0[p]
+					acc1 += av * b1[p]
+					acc2 += av * b2[p]
+					acc3 += av * b3[p]
+				}
+				ci[j], ci[j+1], ci[j+2], ci[j+3] = acc0, acc1, acc2, acc3
+			}
+			for ; j < n; j++ {
 				bj := b[j*k : (j+1)*k]
 				s := 0.0
-				for p := range ai {
+				for p := 0; p < k; p++ {
 					s += ai[p] * bj[p]
 				}
 				ci[j] = s
 			}
 		}
 	})
+}
+
+// ---- pre-packed B operand ---------------------------------------------------
+
+// PackedB is operand B of a C = A·B GEMM pre-packed into the panel layout the
+// blocked kernel consumes. Packing is the only per-call preparation MatMul
+// does on B, so a caller multiplying several A's against one B — or producing
+// B directly in packed form, as Conv2D's fused im2col does — packs once and
+// reuses it across calls and row blocks.
+type PackedB struct {
+	data []float64
+	k, n int
+}
+
+// NewPackedB allocates a packed operand for a k×n B.
+func NewPackedB(k, n int) *PackedB {
+	return &PackedB{data: make([]float64, packLen(k, n)), k: k, n: n}
+}
+
+// Pack fills pb from a k×n tensor.
+func (pb *PackedB) Pack(b *Tensor) {
+	if b.Rank() != 2 || b.shape[0] != pb.k || b.shape[1] != pb.n {
+		panic(fmt.Sprintf("tensor: PackedB.Pack shape %v, want [%d %d]", b.shape, pb.k, pb.n))
+	}
+	packPanels(pb.data, b.data, pb.k, pb.n)
+}
+
+// MatMulPacked computes C = A·B with B already packed: identical results to
+// MatMul (same kernel, same accumulation order), minus the packing pass.
+func MatMulPacked(dst, a *Tensor, pb *PackedB) {
+	if a.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMulPacked requires 2-D tensors")
+	}
+	m := a.shape[0]
+	if a.shape[1] != pb.k {
+		panic(fmt.Sprintf("tensor: MatMulPacked inner dimension mismatch: %d vs %d", a.shape[1], pb.k))
+	}
+	if dst.shape[0] != m || dst.shape[1] != pb.n {
+		panic(fmt.Sprintf("tensor: MatMulPacked dst shape %v, want [%d %d]", dst.shape, m, pb.n))
+	}
+	gemmNNPacked(dst.data, a.data, pb.data, m, pb.k, pb.n)
 }

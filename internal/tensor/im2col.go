@@ -72,6 +72,69 @@ func (g ConvGeom) Im2Col(img, col []float64) {
 	}
 }
 
+// Im2ColPacked expands one image directly into the packed-panel layout the
+// blocked GEMM consumes as operand B (see PackedB), fusing the im2col pass
+// with the pack pass: Conv2D's backward packs each sample's patch matrix
+// exactly once, with no intermediate row-major copy. pb must have k =
+// ColRows() and n = ColCols(); the values are identical to Im2Col followed by
+// PackedB.Pack.
+func (g ConvGeom) Im2ColPacked(img []float64, pb *PackedB) {
+	rows, cols := g.ColRows(), g.ColCols()
+	if len(img) != g.InC*g.InH*g.InW {
+		panic("tensor: Im2ColPacked image size mismatch")
+	}
+	if pb.k != rows || pb.n != cols {
+		panic(fmt.Sprintf("tensor: Im2ColPacked packed shape [%d %d], want [%d %d]", pb.k, pb.n, rows, cols))
+	}
+	dst := pb.data
+	kNR := rows * gemmNR
+	// Zero the panel-padding columns past cols' edge once; the loop below
+	// writes every real (position, patch) slot exactly once.
+	if w := cols % gemmNR; w != 0 {
+		lastPanel := dst[(cols/gemmNR)*kNR:]
+		for p := 0; p < rows; p++ {
+			for jj := w; jj < gemmNR; jj++ {
+				lastPanel[p*gemmNR+jj] = 0
+			}
+		}
+	}
+	for oy := 0; oy < g.OutH; oy++ {
+		for ox := 0; ox < g.OutW; ox++ {
+			rowOff4 := (oy*g.OutW + ox) * gemmNR
+			panelBase, jj := 0, 0
+			put := func(v float64) {
+				dst[panelBase+rowOff4+jj] = v
+				jj++
+				if jj == gemmNR {
+					jj = 0
+					panelBase += kNR
+				}
+			}
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.KW; kx++ {
+							put(0)
+						}
+						continue
+					}
+					rowOff := chanBase + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix < 0 || ix >= g.InW {
+							put(0)
+						} else {
+							put(img[rowOff+ix])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // Col2Im scatter-adds the patch matrix gradient back into the image gradient
 // (the adjoint of Im2Col). dimg must be zeroed by the caller if accumulation
 // from a clean slate is desired.
