@@ -49,7 +49,28 @@ func main() {
 	logPath := flag.String("log", "", "write a JSON-lines run log to this path")
 	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /status, /debug/pprof)")
 	tracePath := flag.String("trace", "", "write the run as Chrome trace-event JSON to this path (open in Perfetto)")
+	soakMode := flag.Bool("soak", false, "run the long-horizon soak harness instead of a single simulation")
+	soakSpec := flag.String("soak-spec", "", "soak schedule spec (phases separated by '|'; empty = the built-in rotating chaos schedule)")
+	soakRounds := flag.Int("soak-rounds", 2000, "total soak round budget across all phases")
+	soakReport := flag.String("soak-report", "", "write the soak's JSON report to this path")
+	soakCheck := flag.Int("soak-check", 10, "evaluate invariant monitors every N rounds")
+	soakRecheck := flag.Int("soak-recheck", 4, "serially re-run every Nth phase and assert a bit-identical fingerprint (-1 disables)")
+	soakRepro := flag.String("soak-repro", "", "reproduce one phase from a soak report: REPORT.json:PHASE_INDEX")
 	flag.Parse()
+
+	if *soakRepro != "" {
+		runSoakRepro(*soakRepro)
+		return
+	}
+	if *soakMode {
+		runSoak(soakCLI{
+			spec: *soakSpec, rounds: *soakRounds, seed: *seed,
+			report: *soakReport, check: *soakCheck, recheck: *soakRecheck,
+			model: *model, scheme: *scheme, clients: *clients,
+			logPath: *logPath, httpAddr: *httpAddr,
+		})
+		return
+	}
 
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {

@@ -1,0 +1,109 @@
+package fedca_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedca/internal/runlog"
+	"fedca/internal/soak"
+)
+
+// TestSoakCommandSmoke exercises fedca-sim's soak mode end to end: a tiny
+// soak with report + phase-marked run log, reproduction of a recorded phase
+// via -soak-repro, and the exit-code contract (0 pass, 1 violation, 2 setup
+// error). Guarded by -short like TestCommandSmoke.
+func TestSoakCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fedca-sim")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fedca-sim")
+	build.Env = os.Environ()
+	if b, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build fedca-sim: %v\n%s", err, b)
+	}
+
+	const tiny = ";clients=2;iters=2;batch=4;train=32;test=16"
+	reportPath := filepath.Join(dir, "report.json")
+	logPath := filepath.Join(dir, "soak.jsonl")
+	run := exec.Command(bin, "-soak", "-soak-rounds", "6",
+		"-soak-spec", "name=calm;rounds=2"+tiny+"|name=storm;rounds=2"+tiny+";chaos=drop=0.3;quorum=1",
+		"-soak-check", "2", "-soak-recheck", "1",
+		"-soak-report", reportPath, "-log", logPath, "-seed", "9")
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("fedca-sim -soak: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "soak: PASS") {
+		t.Fatalf("soak did not pass:\n%s", out)
+	}
+
+	rep, err := soak.ReadReport(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Rounds != 6 || len(rep.Phases) != 3 {
+		t.Fatalf("report unexpected: pass=%v rounds=%d phases=%d", rep.Pass, rep.Rounds, len(rep.Phases))
+	}
+	if rep.RecheckStats.Computed == 0 {
+		t.Fatal("no determinism rechecks ran")
+	}
+	lg, err := runlog.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg.Phases) != 3 || len(lg.Rounds) != 6 {
+		t.Fatalf("soak log has %d phase markers / %d rounds, want 3/6", len(lg.Phases), len(lg.Rounds))
+	}
+
+	// Reproduce phase 1 from the report; the binary verifies the fingerprint.
+	repro, err := exec.Command(bin, "-soak-repro", reportPath+":1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fedca-sim -soak-repro: %v\n%s", err, repro)
+	}
+	if !strings.Contains(string(repro), "repro: PASS") {
+		t.Fatalf("repro did not verify:\n%s", repro)
+	}
+
+	// An injected impossible band must exit 1 and write a failing report
+	// whose violation reproduces.
+	badReport := filepath.Join(dir, "bad.json")
+	bad := exec.Command(bin, "-soak", "-soak-rounds", "2",
+		"-soak-spec", "name=impossible;rounds=2"+tiny+";quarband=0.9:1",
+		"-soak-recheck", "-1", "-soak-report", badReport, "-seed", "9")
+	badOut, err := bad.CombinedOutput()
+	if err == nil {
+		t.Fatalf("soak with impossible band exited 0:\n%s", badOut)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("violation exit code: %v (want 1)\n%s", err, badOut)
+	}
+	badRep, err := soak.ReadReport(badReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badRep.Pass || len(badRep.Violations) == 0 {
+		t.Fatalf("failing report not recorded: %+v", badRep)
+	}
+	repro2, err := exec.Command(bin, "-soak-repro", badReport+":0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("reproducing flagged phase: %v\n%s", err, repro2)
+	}
+	if !strings.Contains(string(repro2), "repro: PASS") {
+		t.Fatalf("flagged phase did not reproduce bit-identically:\n%s", repro2)
+	}
+
+	// Setup errors exit 2.
+	if err := exec.Command(bin, "-soak", "-soak-spec", "bogus").Run(); err == nil {
+		t.Fatal("bad soak spec must fail")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("bad spec exit code: %v (want 2)", err)
+	}
+	if err := exec.Command(bin, "-soak-repro", "nope.json:0").Run(); err == nil {
+		t.Fatal("missing report must fail")
+	}
+}

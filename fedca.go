@@ -5,7 +5,11 @@ package fedca
 // results without touching the internal packages.
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 
@@ -13,6 +17,7 @@ import (
 	"fedca/internal/chaos"
 	"fedca/internal/compress"
 	"fedca/internal/core"
+	"fedca/internal/cputok"
 	"fedca/internal/expcfg"
 	"fedca/internal/fl"
 	"fedca/internal/metrics"
@@ -143,6 +148,10 @@ type Federation struct {
 	fedca   *core.Scheme
 	results []fl.RoundResult
 
+	// observers are invoked synchronously at the end of every RunRound, on
+	// the driving goroutine (see OnRound).
+	observers []func(Round)
+
 	// lastMu guards lastRound so Snapshot can be polled from a monitoring
 	// goroutine while RunRound executes on the driving one.
 	lastMu    sync.Mutex
@@ -256,7 +265,19 @@ func (f *Federation) RunRound() Round {
 	f.lastMu.Lock()
 	f.lastRound = r
 	f.lastMu.Unlock()
+	for _, obs := range f.observers {
+		obs(r)
+	}
 	return r
+}
+
+// OnRound registers an observer invoked synchronously at the end of every
+// completed round, on the goroutine driving RunRound — the registration
+// hook soak/invariant monitors use to watch a run without owning its loop.
+// Observers run after the round is visible to Snapshot; they must not call
+// RunRound re-entrantly.
+func (f *Federation) OnRound(obs func(Round)) {
+	f.observers = append(f.observers, obs)
 }
 
 // Run executes n rounds and returns them.
@@ -336,6 +357,32 @@ func (f *Federation) FedCAStats() (stats core.SchemeStats, ok bool) {
 // goroutine while RunRound executes.
 func (f *Federation) DegradationStats() fl.RunnerStats { return f.runner.Stats() }
 
+// ParamsChecksum returns the SHA-256 of the global model's parameter vector
+// (8-byte little-endian IEEE 754 bits per coordinate), hex-encoded: the
+// run's aggregate content address. Two runs with equal checksums hold
+// bit-identical global models. Call it between rounds — unlike Snapshot it
+// reads the parameters themselves, which RunRound mutates.
+func (f *Federation) ParamsChecksum() string {
+	flat := f.runner.GlobalFlat()
+	h := sha256.New()
+	var b [8]byte
+	for _, v := range flat {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TokenSnapshot reports the process-wide CPU-token budget's state: the
+// current capacity, tokens in flight, and the high-water mark of
+// concurrently held tokens. MaxInflight <= Cap is one of the soak harness's
+// invariants (the budget bounds the whole process's parallelism).
+type TokenSnapshot struct {
+	Cap      int `json:"cap"`
+	Inflight int `json:"inflight"`
+	Max      int `json:"max_inflight"`
+}
+
 // Snapshot is the live status of a federation, JSON-ready for an
 // introspection endpoint.
 type Snapshot struct {
@@ -348,6 +395,9 @@ type Snapshot struct {
 	// Degradation aggregates skipped rounds, quarantines, dropouts and link
 	// retries over the whole run.
 	Degradation fl.RunnerStats `json:"degradation"`
+	// Tokens mirrors the process-wide CPU-token budget (shared across all
+	// federations, not per-run).
+	Tokens TokenSnapshot `json:"tokens"`
 	// FedCA carries the scheme's behavioural counters; nil for non-FedCA
 	// schemes.
 	FedCA *core.SchemeStats `json:"fedca,omitempty"`
@@ -361,11 +411,17 @@ func (f *Federation) Snapshot() Snapshot {
 	last := f.lastRound
 	f.lastMu.Unlock()
 	st := f.runner.Stats()
+	budget := cputok.Default()
 	snap := Snapshot{
 		Round:       st.Rounds,
 		VirtualTime: last.End,
 		Accuracy:    last.Accuracy,
 		Degradation: st,
+		Tokens: TokenSnapshot{
+			Cap:      budget.Cap(),
+			Inflight: budget.Inflight(),
+			Max:      budget.MaxInflight(),
+		},
 	}
 	if f.fedca != nil {
 		st := f.fedca.Stats()

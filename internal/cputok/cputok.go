@@ -89,6 +89,16 @@ func (b *Budget) Cap() int {
 	return b.capLocked()
 }
 
+// Setting returns the raw capacity setting: a positive explicit cap, or
+// <= 0 when the budget tracks GOMAXPROCS. Unlike Cap it never resolves the
+// tracking state, so Setting/SetCap pairs save and restore the budget
+// exactly (the soak harness forces a serial recheck this way).
+func (b *Budget) Setting() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
 // SetCap changes the capacity; n <= 0 returns to tracking GOMAXPROCS.
 // Shrinking never revokes tokens already out — the budget simply refuses new
 // acquisitions until enough are returned.

@@ -206,3 +206,150 @@ func TestDefaultIsProcessWide(t *testing.T) {
 		t.Fatalf("default budget capacity %d < 1", Default().Cap())
 	}
 }
+
+// TestSetCapRacingTraffic shrinks and grows the capacity while Borrow,
+// Return and Acquire traffic runs full tilt. The invariants under any
+// interleaving: no deadlock (a watchdog guards the whole test), no token
+// leak, and — because SetCap never revokes tokens already out — after
+// shrinking to a final cap and draining, new admissions respect the new cap:
+// the post-drain high-water mark never exceeds it.
+func TestSetCapRacingTraffic(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			panic("cputok: SetCap race test deadlocked")
+		}
+	}()
+	defer close(done)
+
+	const (
+		maxCap  = 4
+		workers = 6
+		iters   = 300
+	)
+	b := NewBudget(maxCap)
+	var wg sync.WaitGroup
+
+	// Capacity churn: cycle through shrink-to-1 / grow / track-GOMAXPROCS.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		caps := []int{1, maxCap, 2, 0, 3, 1, maxCap}
+		for i := 0; i < iters; i++ {
+			b.SetCap(caps[i%len(caps)])
+			if b.Setting() > maxCap {
+				t.Error("Setting exceeds every cap ever set")
+			}
+			runtime.Gosched()
+		}
+		b.SetCap(maxCap)
+	}()
+
+	// Blocking top-level traffic (Acquire must always eventually admit).
+	for w := 0; w < workers/2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				b.Acquire()
+				runtime.Gosched()
+				b.Release()
+			}
+		}()
+	}
+	// Non-blocking nested traffic.
+	for w := 0; w < workers/2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if n := b.Borrow(1 + (seed+i)%maxCap); n > 0 {
+					runtime.Gosched()
+					b.Return(n)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("tokens leaked through capacity churn: inflight = %d", got)
+	}
+	// Shrink to the final cap with the budget drained, then verify the new
+	// bound holds for all subsequent admissions.
+	const finalCap = 2
+	b.SetCap(finalCap)
+	b.ResetMax()
+	var wg2 sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg2.Add(1)
+		go func(seed int) {
+			defer wg2.Done()
+			for i := 0; i < iters; i++ {
+				if seed%2 == 0 {
+					b.Acquire()
+					runtime.Gosched()
+					b.Release()
+				} else if n := b.Borrow(1 + i%maxCap); n > 0 {
+					runtime.Gosched()
+					b.Return(n)
+				}
+			}
+		}(w)
+	}
+	wg2.Wait()
+	if got := b.MaxInflight(); got > finalCap {
+		t.Fatalf("post-drain MaxInflight %d exceeds shrunk cap %d", got, finalCap)
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("tokens leaked after drain: inflight = %d", got)
+	}
+}
+
+// TestSetCapShrinkBelowInflight pins the shrink-never-revokes contract: with
+// more tokens out than the new capacity, outstanding holders keep their
+// tokens and Return cleanly; new admissions block (Acquire) or fail (Borrow)
+// until the count drains below the new cap.
+func TestSetCapShrinkBelowInflight(t *testing.T) {
+	b := NewBudget(4)
+	if got := b.Borrow(3); got != 3 {
+		t.Fatalf("Borrow(3) = %d, want 3", got)
+	}
+	b.SetCap(1)
+	if b.TryAcquire() {
+		t.Fatal("TryAcquire admitted over a shrunk cap")
+	}
+	if got := b.Borrow(1); got != 0 {
+		t.Fatalf("Borrow admitted %d tokens over a shrunk cap", got)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		b.Acquire()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire admitted while inflight (3) exceeds shrunk cap (1)")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Draining 2 of 3 leaves inflight == cap: still full, still blocked.
+	b.Return(2)
+	select {
+	case <-acquired:
+		t.Fatal("Acquire admitted while the shrunk budget is exactly full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Final return frees the only slot under the new cap.
+	b.Return(1)
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not wake once the budget drained below the new cap")
+	}
+	b.Release()
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after full drain", got)
+	}
+}

@@ -89,6 +89,21 @@ func FromRoundResult(r fl.RoundResult) Record {
 	return rec
 }
 
+// PhaseMarker records a soak-phase boundary inside a run log: the phase's
+// position, its fully-resolved spec string and the seed its federation was
+// built from. The marker alone carries everything needed to reproduce the
+// rounds that follow it (soak.RunPhase consumes exactly these two fields).
+type PhaseMarker struct {
+	Kind       string `json:"kind"` // always "phase"
+	Index      int    `json:"index"`
+	Cycle      int    `json:"cycle,omitempty"`
+	Name       string `json:"name"`
+	Spec       string `json:"spec"`
+	Seed       uint64 `json:"seed"`
+	StartRound int    `json:"start_round"`
+	Rounds     int    `json:"rounds,omitempty"`
+}
+
 // Writer streams a run to an io.Writer as JSON lines.
 type Writer struct {
 	w      *bufio.Writer
@@ -125,6 +140,13 @@ func (w *Writer) WriteRecord(r Record) error {
 	return w.emit(r)
 }
 
+// WritePhase emits a soak-phase boundary marker. The kind tag is forced to
+// "phase".
+func (w *Writer) WritePhase(p PhaseMarker) error {
+	p.Kind = "phase"
+	return w.emit(p)
+}
+
 func (w *Writer) emit(v interface{}) error {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -150,6 +172,7 @@ func (w *Writer) Close() error {
 // Run is a fully parsed log.
 type Run struct {
 	Header Header
+	Phases []PhaseMarker
 	Rounds []Record
 }
 
@@ -182,6 +205,12 @@ func Read(r io.Reader) (*Run, error) {
 				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
 			}
 			run.Rounds = append(run.Rounds, rec)
+		case "phase":
+			var p PhaseMarker
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("runlog: line %d: %w", line, err)
+			}
+			run.Phases = append(run.Phases, p)
 		default:
 			return nil, fmt.Errorf("runlog: line %d: unknown kind %q", line, kind.Kind)
 		}

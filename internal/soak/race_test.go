@@ -1,0 +1,99 @@
+package soak
+
+import (
+	"io"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"fedca"
+)
+
+// TestSoakConcurrentIntrospection runs a ~100-round soak with every monitor
+// active while a polling goroutine hammers the live introspection surface —
+// /metrics, /metrics.json, /status and Runner.Status()/Federation snapshots
+// directly — the whole time. Run under -race in CI, it is the soak harness's
+// concurrency safety net: the monitored run must stay race-free while being
+// observed, and observation must not perturb it (the runner's own
+// determinism monitor rechecks fingerprints within this very test).
+func TestSoakConcurrentIntrospection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short")
+	}
+	tel := fedca.NewTelemetry()
+	cfg := Config{
+		Schedule: "name=race-calm;rounds=25" +
+			"|name=race-chaos;rounds=25;chaos=drop=0.2,slow=0.3,xfail=0.1,retries=3;quorum=1",
+		Rounds:       100,
+		Seed:         17,
+		Base:         tinyBase(),
+		CheckEvery:   5,
+		RecheckEvery: 2,
+		Telemetry:    tel,
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(r.NewMux())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	pollDone := make(chan struct{})
+	var polls atomic.Int64
+	go func() {
+		defer close(pollDone)
+		client := srv.Client()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/metrics.json", "/status"} {
+				resp, err := client.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			// Exercise the non-HTTP accessors the mux builds on, too.
+			st := r.Status()
+			if st.Round < 0 || st.Round > cfg.Rounds {
+				t.Errorf("Status round %d out of range", st.Round)
+				return
+			}
+			_ = st.Federation.Tokens
+			polls.Add(1)
+		}
+	}()
+
+	rep, err := r.Run()
+	close(stop)
+	<-pollDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("soak under concurrent introspection reported violations: %+v", rep.Violations)
+	}
+	if rep.Rounds != 100 {
+		t.Fatalf("Rounds = %d, want 100", rep.Rounds)
+	}
+	if rep.RecheckStats.Computed == 0 {
+		t.Fatal("determinism monitor never ran under load")
+	}
+	if polls.Load() == 0 {
+		t.Fatal("polling goroutine never completed a pass")
+	}
+	st := r.Status()
+	if st.Running {
+		t.Fatal("Status still running after Run returned")
+	}
+	if st.Round != 100 {
+		t.Fatalf("final Status round = %d, want 100", st.Round)
+	}
+}

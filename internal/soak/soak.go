@@ -1,0 +1,492 @@
+package soak
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"fedca"
+	"fedca/internal/cputok"
+	"fedca/internal/execpool"
+	"fedca/internal/rng"
+	"fedca/internal/runlog"
+	"fedca/internal/telemetry"
+)
+
+// cacheVersion fingerprints the soak harness's phase semantics; it is mixed
+// into every recheck cell's content address, so changing what a phase
+// fingerprint covers orphans old cells instead of matching them wrongly.
+const cacheVersion = "fedca-soak-v1"
+
+// Config configures a soak run. The zero value is not valid; every field
+// left zero takes the documented default in New.
+type Config struct {
+	// Schedule is the rotating phase schedule spec ("" = DefaultSchedule).
+	Schedule string
+	// Rounds is the total round budget across all phases (default 2000).
+	// The last phase is truncated to fit exactly.
+	Rounds int
+	// Seed drives the whole soak: phase seeds fork from it, so equal
+	// (Seed, Schedule, Rounds) reproduce the entire run.
+	Seed uint64
+	// Base is the phase every schedule entry resolves against (zero value =
+	// DefaultBase()).
+	Base Phase
+	// CheckEvery is the monitor sampling cadence in rounds (default 10).
+	CheckEvery int
+	// RecheckEvery selects phases for the serial determinism recheck: every
+	// phase whose global ordinal is a multiple of it re-runs serially with
+	// telemetry flipped and must fingerprint identically. Default 4; -1
+	// disables rechecks.
+	RecheckEvery int
+	// HeapWarmup excludes the first N phase-boundary heap samples from the
+	// growth fit (default 2).
+	HeapWarmup int
+	// MaxHeapSlope is the live-heap growth bound in bytes/round (default
+	// 32 KiB); MinHeapRise is the absolute rise floor before the slope can
+	// fire (default 16 MiB).
+	MaxHeapSlope float64
+	MinHeapRise  float64
+	// Telemetry, when non-nil, receives every phase's live metrics plus the
+	// fedca_soak_* metric set, and feeds the HTTP mux (NewMux).
+	Telemetry *fedca.Telemetry
+	// Log, when non-nil, receives the whole soak as one continuous run log:
+	// a phase marker before each phase, then its rounds with globally
+	// monotonic round indices.
+	Log *runlog.Writer
+	// Monitors are additional user monitors evaluated alongside the
+	// built-in set (cputok, rates, heap, determinism).
+	Monitors []Monitor
+}
+
+// Status is the soak runner's live progress, served by the /status endpoint
+// while Run executes.
+type Status struct {
+	Running     bool   `json:"running"`
+	Round       int    `json:"round"`
+	TotalRounds int    `json:"total_rounds"`
+	Phase       int    `json:"phase"`
+	PhaseName   string `json:"phase_name"`
+	Cycle       int    `json:"cycle"`
+	Violations  int    `json:"violations"`
+	// Federation is the running phase's live snapshot (the last completed
+	// phase's final snapshot between phases).
+	Federation fedca.Snapshot `json:"federation"`
+}
+
+// Runner executes one soak run. Build with New; Run may be called once.
+// Status is safe to poll from other goroutines while Run executes.
+type Runner struct {
+	cfg      Config
+	schedule []Phase
+	base     Phase
+	monitors []Monitor
+	pool     *execpool.Pool
+	soakTel  *telemetry.SoakMetrics
+
+	mu     sync.Mutex
+	cur    *fedca.Federation // running phase's federation, nil between phases
+	status Status
+}
+
+// New validates the configuration, resolves the schedule and assembles the
+// monitor set.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Schedule == "" {
+		cfg.Schedule = DefaultSchedule
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 2000
+	}
+	if cfg.Rounds < 1 || cfg.Rounds > maxRounds {
+		return nil, fmt.Errorf("soak: Rounds %d outside [1,%d]", cfg.Rounds, maxRounds)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 10
+	}
+	if cfg.RecheckEvery == 0 {
+		cfg.RecheckEvery = 4
+	}
+	if cfg.HeapWarmup <= 0 {
+		cfg.HeapWarmup = 2
+	}
+	if cfg.MaxHeapSlope <= 0 {
+		cfg.MaxHeapSlope = 32 << 10
+	}
+	if cfg.MinHeapRise <= 0 {
+		cfg.MinHeapRise = 16 << 20
+	}
+	base := cfg.Base.Resolve(DefaultBase())
+	if err := base.validateResolved(); err != nil {
+		return nil, fmt.Errorf("soak: base: %w", err)
+	}
+	schedule, err := ParseSchedule(cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range schedule {
+		if err := p.Resolve(base).validateResolved(); err != nil {
+			return nil, fmt.Errorf("soak: schedule phase %d: %w", i, err)
+		}
+	}
+	r := &Runner{
+		cfg:      cfg,
+		schedule: schedule,
+		base:     base,
+		// Workers 1: rechecks are the serial reference path by design, and
+		// the pool's singleflight/memoization still dedups repeats.
+		pool:    execpool.New(execpool.Options{Workers: 1, Version: cacheVersion}),
+		soakTel: telemetry.NewSoakMetrics(cfg.Telemetry.Registry()),
+		status:  Status{TotalRounds: cfg.Rounds},
+	}
+	r.monitors = append(r.monitors,
+		&tokenMonitor{},
+		ratesMonitor{},
+		&heapMonitor{warmup: cfg.HeapWarmup, maxSlope: cfg.MaxHeapSlope, minRise: cfg.MinHeapRise},
+	)
+	if cfg.RecheckEvery > 0 {
+		r.monitors = append(r.monitors, &determinismMonitor{
+			every:   cfg.RecheckEvery,
+			pool:    r.pool,
+			liveTel: cfg.Telemetry != nil,
+			tel:     r.soakTel,
+		})
+	}
+	r.monitors = append(r.monitors, cfg.Monitors...)
+	return r, nil
+}
+
+// Status snapshots the runner's live progress; safe to call from any
+// goroutine while Run executes (the /status endpoint does).
+func (r *Runner) Status() Status {
+	r.mu.Lock()
+	st := r.status
+	cur := r.cur
+	r.mu.Unlock()
+	if cur != nil {
+		st.Federation = cur.Snapshot()
+	}
+	return st
+}
+
+// NewMux builds the soak run's HTTP introspection surface: the standard
+// telemetry endpoints (/metrics, /metrics.json, /debug/pprof) with /status
+// serving the runner's live Status.
+func (r *Runner) NewMux() *http.ServeMux {
+	return telemetry.NewMux(r.cfg.Telemetry, func() any { return r.Status() })
+}
+
+// Run executes the soak: phases rotate through the schedule until the round
+// budget is spent, monitors sample every CheckEvery rounds and evaluate
+// each finished phase, and the outcome lands in a Report. The error return
+// covers setup failures only (an unknown scheme in a phase, say); invariant
+// violations never abort the run — they are the report's payload.
+func (r *Runner) Run() (*Report, error) {
+	cfg := r.cfg
+	rep := &Report{
+		Schedule:     cfg.Schedule,
+		Seed:         cfg.Seed,
+		CheckEvery:   cfg.CheckEvery,
+		RecheckEvery: cfg.RecheckEvery,
+	}
+	budget := cputok.Default()
+	budget.ResetMax()
+	r.setRunning(true)
+	defer r.setRunning(false)
+
+	record := func(vs []Violation) {
+		if len(vs) == 0 {
+			return
+		}
+		rep.Violations = append(rep.Violations, vs...)
+		r.soakTel.Violation(len(vs))
+		r.mu.Lock()
+		r.status.Violations = len(rep.Violations)
+		r.mu.Unlock()
+	}
+
+	globalRound := 0
+	for phaseIdx := 0; globalRound < cfg.Rounds; phaseIdx++ {
+		p := r.schedule[phaseIdx%len(r.schedule)].Resolve(r.base)
+		if remaining := cfg.Rounds - globalRound; p.Rounds > remaining {
+			p.Rounds = remaining
+		}
+		info := PhaseInfo{
+			Index:      phaseIdx,
+			Cycle:      phaseIdx / len(r.schedule),
+			Name:       p.Name,
+			Seed:       rng.New(cfg.Seed).Fork("soak-phase", phaseIdx).Uint64(),
+			Spec:       p.Spec(),
+			StartRound: globalRound,
+			Rounds:     p.Rounds,
+		}
+		r.soakTel.PhaseStart(info.Index, info.Cycle, info.Rounds)
+		r.mu.Lock()
+		r.status.Phase = info.Index
+		r.status.PhaseName = info.Name
+		r.status.Cycle = info.Cycle
+		r.mu.Unlock()
+		if cfg.Log != nil {
+			if err := cfg.Log.WritePhase(runlog.PhaseMarker{
+				Index: info.Index, Cycle: info.Cycle, Name: info.Name,
+				Spec: info.Spec, Seed: info.Seed,
+				StartRound: info.StartRound, Rounds: info.Rounds,
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		res, err := r.runPhase(info, p, record)
+		if err != nil {
+			return nil, err
+		}
+
+		// Release the phase's federation before the boundary heap measure;
+		// the cached snapshot keeps /status meaningful between phases.
+		r.mu.Lock()
+		cur := r.cur
+		r.mu.Unlock()
+		lastSnap := fedca.Snapshot{}
+		if cur != nil {
+			lastSnap = cur.Snapshot()
+		}
+		r.mu.Lock()
+		r.cur = nil
+		r.status.Federation = lastSnap
+		r.mu.Unlock()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.HeapBytes = ms.HeapAlloc
+		r.soakTel.PhaseDone(ms.HeapAlloc)
+
+		rep.Phases = append(rep.Phases, res)
+		for _, m := range r.monitors {
+			record(m.PhaseEnd(res))
+		}
+		globalRound += p.Rounds
+	}
+
+	rep.Rounds = globalRound
+	rep.TokenCap = budget.Cap()
+	rep.MaxInflight = budget.MaxInflight()
+	rep.RecheckStats = r.pool.Stats()
+	rep.Pass = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// runPhase executes one phase's federation and returns its outcome (heap
+// measure left to the caller). Monitors sample through the record callback.
+func (r *Runner) runPhase(info PhaseInfo, p Phase, record func([]Violation)) (PhaseResult, error) {
+	fed, err := fedca.New(p.options(info.Seed, r.cfg.Telemetry))
+	if err != nil {
+		return PhaseResult{}, fmt.Errorf("soak: phase %d (%s): %w", info.Index, info.Name, err)
+	}
+	r.mu.Lock()
+	r.cur = fed
+	r.mu.Unlock()
+
+	h := sha256.New()
+	collected := 0
+	fed.OnRound(func(rd fedca.Round) {
+		hashRound(h, rd)
+		collected += rd.Collected
+		globalRound := info.StartRound + rd.Index + 1
+		r.soakTel.RoundDone()
+		r.mu.Lock()
+		r.status.Round = globalRound
+		r.mu.Unlock()
+		if r.cfg.Log != nil {
+			rec := recordFromRound(rd)
+			rec.Round = globalRound - 1
+			// Log-write errors surface at Close; the soak must not abort
+			// mid-phase over a full disk.
+			_ = r.cfg.Log.WriteRecord(rec)
+		}
+		if globalRound%r.cfg.CheckEvery == 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			s := Sample{Round: globalRound, Phase: info, Snapshot: fed.Snapshot(), HeapAlloc: ms.HeapAlloc}
+			for _, m := range r.monitors {
+				record(m.Sample(s))
+			}
+		}
+	})
+	rounds := fed.Run(p.Rounds)
+
+	res := finishPhase(info, p, fed, h, rounds, collected)
+	res.Cell = r.pool.Fingerprint(recheckSpec(info.Spec, info.Seed, r.cfg.Telemetry == nil))
+	return res, nil
+}
+
+// finishPhase folds the final parameter checksum into the fingerprint and
+// assembles the phase outcome from the federation's degradation counters.
+func finishPhase(info PhaseInfo, p Phase, fed *fedca.Federation, h hash.Hash, rounds []fedca.Round, collected int) PhaseResult {
+	sum := fed.ParamsChecksum()
+	h.Write([]byte(sum))
+	st := fed.DegradationStats()
+	res := PhaseResult{
+		PhaseInfo: info,
+		Bands: BandSet{
+			Skip:       p.SkipBand,
+			Quarantine: p.QuarBand,
+			Retry:      p.RetryBand,
+		},
+		Fingerprint:    hex.EncodeToString(h.Sum(nil)),
+		ParamsChecksum: sum,
+		SkippedRounds:  st.SkippedRounds,
+		Quarantined:    st.Quarantined,
+		DroppedRounds:  st.DroppedRounds,
+		LinkRetries:    st.LinkRetries,
+		Collected:      collected,
+	}
+	if n := len(rounds); n > 0 {
+		res.FinalAccuracy = rounds[n-1].Accuracy
+	}
+	return res
+}
+
+// hashRound folds one round's canonical JSON encoding into the phase
+// fingerprint. encoding/json renders float64 in shortest round-trip form,
+// so equal bytes <=> bit-identical round results.
+func hashRound(h hash.Hash, rd fedca.Round) {
+	b, err := json.Marshal(rd)
+	if err != nil {
+		panic(fmt.Sprintf("soak: marshal round: %v", err))
+	}
+	h.Write(b)
+	h.Write([]byte{'\n'})
+}
+
+// recordFromRound converts a facade round into a run-log record. Fields the
+// facade does not expose (upload bytes, per-round link retries) stay zero;
+// the report carries their phase totals instead.
+func recordFromRound(rd fedca.Round) runlog.Record {
+	return runlog.Record{
+		Round:          rd.Index,
+		Start:          rd.Start,
+		End:            rd.End,
+		Accuracy:       rd.Accuracy,
+		Collected:      rd.Collected,
+		Dropped:        rd.Dropped,
+		MeanIterations: rd.MeanIterations,
+		MeanEagerSent:  rd.EagerSent,
+		MeanRetrans:    rd.Retransmitted,
+		Skipped:        rd.Skipped,
+		Quarantined:    rd.Quarantined,
+	}
+}
+
+// options builds the fedca.Options a phase's federation is constructed
+// from. Heterogeneous/dynamic client speeds stay on (the paper's regime);
+// everything else comes from the phase.
+func (p Phase) options(seed uint64, tel *fedca.Telemetry) fedca.Options {
+	chaosSpec := p.Chaos
+	if chaosSpec == "none" {
+		chaosSpec = ""
+	}
+	return fedca.Options{
+		Model:         p.Model,
+		Clients:       p.Clients,
+		Scheme:        p.Scheme,
+		Seed:          seed,
+		LocalIters:    p.Iters,
+		BatchSize:     p.Batch,
+		TrainSamples:  p.Train,
+		TestSamples:   p.Test,
+		Alpha:         p.Alpha,
+		DropoutProb:   p.Dropout,
+		Chaos:         chaosSpec,
+		MinQuorum:     p.Quorum,
+		MaxDeltaNorm:  p.MaxNorm,
+		Heterogeneous: true,
+		Dynamic:       true,
+		Telemetry:     tel,
+	}
+}
+
+// RunPhase reproduces one phase standalone from its canonical spec string
+// and seed, exactly as recorded in a Report or run-log phase marker, and
+// returns its outcome. Equal (spec, seed) yield an identical Fingerprint
+// and ParamsChecksum at any CPU-token count, with or without telemetry —
+// that equality is what the determinism monitor asserts, and what makes a
+// violation's Spec+Seed a complete reproduction recipe.
+func RunPhase(spec string, seed uint64, tel *fedca.Telemetry) (PhaseResult, error) {
+	phases, err := ParseSchedule(spec)
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	if len(phases) != 1 {
+		return PhaseResult{}, fmt.Errorf("soak: RunPhase wants exactly one phase, spec has %d", len(phases))
+	}
+	p := phases[0].Resolve(DefaultBase())
+	if err := p.validateResolved(); err != nil {
+		return PhaseResult{}, err
+	}
+	info := PhaseInfo{Name: p.Name, Seed: seed, Spec: p.Spec(), Rounds: p.Rounds}
+	fed, err := fedca.New(p.options(seed, tel))
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	h := sha256.New()
+	collected := 0
+	fed.OnRound(func(rd fedca.Round) {
+		hashRound(h, rd)
+		collected += rd.Collected
+	})
+	rounds := fed.Run(p.Rounds)
+	return finishPhase(info, p, fed, h, rounds, collected), nil
+}
+
+// recheckSpec is the content-addressed identity of a serial recheck cell.
+func recheckSpec(spec string, seed uint64, withTelemetry bool) execpool.Spec {
+	return execpool.Spec{
+		Kind: "soak-phase",
+		Key:  fmt.Sprintf("%s\x00seed=%d\x00telemetry=%v", spec, seed, withTelemetry),
+	}
+}
+
+// recheckResult is the memoized value of a recheck cell.
+type recheckResult struct {
+	Fingerprint string
+	Err         string
+}
+
+// recheckPhase re-runs a completed phase on the serial reference path: the
+// process-wide CPU-token budget is pinned to one token, telemetry is
+// flipped relative to the live run, and the resulting fingerprint is
+// returned for comparison. The run executes inside an execpool cell, so
+// identical rechecks dedup/memoize and the cell's fingerprint is the
+// phase's content address.
+func recheckPhase(pool *execpool.Pool, p PhaseResult, withTelemetry bool) (string, error) {
+	res := execpool.Do(pool, recheckSpec(p.Spec, p.Seed, withTelemetry), func() recheckResult {
+		budget := cputok.Default()
+		saved := budget.Setting()
+		budget.SetCap(1)
+		defer budget.SetCap(saved)
+		var tel *fedca.Telemetry
+		if withTelemetry {
+			tel = fedca.NewTelemetry()
+		}
+		out, err := RunPhase(p.Spec, p.Seed, tel)
+		if err != nil {
+			return recheckResult{Err: err.Error()}
+		}
+		return recheckResult{Fingerprint: out.Fingerprint}
+	})
+	if res.Err != "" {
+		return "", fmt.Errorf("soak: recheck: %s", res.Err)
+	}
+	return res.Fingerprint, nil
+}
+
+func (r *Runner) setRunning(v bool) {
+	r.mu.Lock()
+	r.status.Running = v
+	r.mu.Unlock()
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+// SoakMetrics is the soak harness's metric set: phase/round/violation
+// counters and live gauges, registered under fedca_soak_* in a run's
+// registry so the existing /metrics surface shows soak progress. A nil
+// *SoakMetrics is the disabled state; every method is nil-safe, mirroring
+// the Sink convention.
+type SoakMetrics struct {
+	Phases            *Counter
+	Rounds            *Counter
+	Violations        *Counter
+	Rechecks          *Counter
+	RecheckMismatches *Counter
+	Phase             *Gauge // current phase ordinal
+	Cycle             *Gauge // schedule cycles completed
+	PhaseRounds       *Gauge // rounds planned for the current phase
+	HeapBytes         *Gauge // post-GC live heap at the last phase boundary
+}
+
+// NewSoakMetrics registers the soak metric set in reg (nil reg disables).
+func NewSoakMetrics(reg *Registry) *SoakMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SoakMetrics{
+		Phases:            reg.Counter("fedca_soak_phases_total", "Soak phases completed."),
+		Rounds:            reg.Counter("fedca_soak_rounds_total", "Soak rounds completed across all phases."),
+		Violations:        reg.Counter("fedca_soak_violations_total", "Invariant-monitor violations recorded."),
+		Rechecks:          reg.Counter("fedca_soak_rechecks_total", "Serial determinism rechecks executed."),
+		RecheckMismatches: reg.Counter("fedca_soak_recheck_mismatches_total", "Determinism rechecks whose fingerprint diverged from the live run."),
+		Phase:             reg.Gauge("fedca_soak_phase", "Ordinal of the phase currently running."),
+		Cycle:             reg.Gauge("fedca_soak_cycle", "Full schedule rotations completed."),
+		PhaseRounds:       reg.Gauge("fedca_soak_phase_rounds", "Rounds planned for the current phase."),
+		HeapBytes:         reg.Gauge("fedca_soak_heap_bytes", "Post-GC live heap measured at the last phase boundary."),
+	}
+}
+
+// PhaseStart marks a phase beginning.
+func (m *SoakMetrics) PhaseStart(index, cycle, rounds int) {
+	if m == nil {
+		return
+	}
+	m.Phase.Set(float64(index))
+	m.Cycle.Set(float64(cycle))
+	m.PhaseRounds.Set(float64(rounds))
+}
+
+// PhaseDone marks a phase completed, recording its post-GC heap measure.
+func (m *SoakMetrics) PhaseDone(heapBytes uint64) {
+	if m == nil {
+		return
+	}
+	m.Phases.Inc()
+	m.HeapBytes.Set(float64(heapBytes))
+}
+
+// RoundDone counts one completed soak round.
+func (m *SoakMetrics) RoundDone() {
+	if m == nil {
+		return
+	}
+	m.Rounds.Inc()
+}
+
+// Violation counts n recorded monitor violations.
+func (m *SoakMetrics) Violation(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Violations.Add(float64(n))
+}
+
+// RecheckDone counts one determinism recheck and whether it matched.
+func (m *SoakMetrics) RecheckDone(matched bool) {
+	if m == nil {
+		return
+	}
+	m.Rechecks.Inc()
+	if !matched {
+		m.RecheckMismatches.Inc()
+	}
+}
