@@ -17,8 +17,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 
@@ -47,7 +49,8 @@ func main() {
 	minQuorum := flag.Int("quorum", 0, "minimum valid updates to aggregate a round (0 = 1); thinner rounds are skipped, not fatal")
 	maxNorm := flag.Float64("maxnorm", 0, "quarantine updates whose L2 norm exceeds this (0 = no bound)")
 	logPath := flag.String("log", "", "write a JSON-lines run log to this path")
-	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /status, /debug/pprof)")
+	eventsPath := flag.String("events", "", "stream the flight-recorder journal to this path as JSON lines")
+	httpAddr := flag.String("http", "", "serve live introspection on this address (/metrics, /status, /events, /clients, /healthz, /debug/pprof)")
 	tracePath := flag.String("trace", "", "write the run as Chrome trace-event JSON to this path (open in Perfetto)")
 	soakMode := flag.Bool("soak", false, "run the long-horizon soak harness instead of a single simulation")
 	soakSpec := flag.String("soak-spec", "", "soak schedule spec (phases separated by '|'; empty = the built-in rotating chaos schedule)")
@@ -67,7 +70,7 @@ func main() {
 			spec: *soakSpec, rounds: *soakRounds, seed: *seed,
 			report: *soakReport, check: *soakCheck, recheck: *soakRecheck,
 			model: *model, scheme: *scheme, clients: *clients,
-			logPath: *logPath, httpAddr: *httpAddr,
+			logPath: *logPath, httpAddr: *httpAddr, eventsPath: *eventsPath,
 		})
 		return
 	}
@@ -115,6 +118,13 @@ func main() {
 		sink = telemetry.New()
 		w.FL.Telemetry = sink
 	}
+	// Flight recorder: feeds /events and /clients, and streams to -events.
+	// Like the sink it is observational only.
+	var journal *telemetry.Journal
+	if *httpAddr != "" || *eventsPath != "" {
+		journal = telemetry.NewJournal(0)
+		w.FL.Journal = journal
+	}
 
 	var sch fl.Scheme
 	var fedca *core.Scheme
@@ -141,6 +151,7 @@ func main() {
 		}
 		fedca = core.NewScheme(opt, rng.New(*seed).Fork("scheme"))
 		fedca.SetTelemetry(sink)
+		fedca.SetJournal(journal)
 		sch = fedca
 	default:
 		fail(fmt.Errorf("unknown scheme %q", *scheme))
@@ -152,13 +163,22 @@ func main() {
 		fail(err)
 	}
 	if *httpAddr != "" {
-		mux := telemetry.NewMux(sink, statusFunc(runner, fedca, sink))
+		mux := telemetry.NewMux(sink, journal, statusFunc(runner, fedca, sink))
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "fedca-sim: http:", err)
 			}
 		}()
-		fmt.Printf("telemetry: serving /metrics, /status and /debug/pprof on %s\n", *httpAddr)
+		fmt.Printf("telemetry: serving /metrics, /status, /events, /clients and /debug/pprof on %s\n", *httpAddr)
+	}
+	var eventsFile *os.File
+	var eventsSeq uint64
+	if *eventsPath != "" {
+		eventsFile, err = os.Create(*eventsPath)
+		if err != nil {
+			fail(err)
+		}
+		defer eventsFile.Close()
 	}
 	var logw *runlog.Writer
 	if *logPath != "" {
@@ -201,6 +221,14 @@ func main() {
 				fail(err)
 			}
 		}
+		// Stream the journal incrementally: draining once per round keeps the
+		// on-disk record complete even though the ring evicts old events.
+		if eventsFile != nil {
+			eventsSeq = writeEvents(eventsFile, journal.Since(eventsSeq), eventsSeq)
+		}
+	}
+	if eventsFile != nil {
+		fmt.Printf("events: wrote the flight-recorder journal to %s (%d events)\n", *eventsPath, eventsSeq)
 	}
 	if fedca != nil {
 		st := fedca.Stats()
@@ -252,6 +280,22 @@ func statusFunc(runner *fl.Runner, fedca *core.Scheme, sink *telemetry.Sink) fun
 		}
 		return st
 	}
+}
+
+// writeEvents appends events as JSON lines and returns the last sequence
+// number written (or since, when there was nothing new).
+func writeEvents(w io.Writer, events []telemetry.Event, since uint64) uint64 {
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			fail(err)
+		}
+		since = e.Seq
+	}
+	return since
 }
 
 func fail(err error) {

@@ -27,8 +27,9 @@ type soakCLI struct {
 	model    string
 	scheme   string
 	clients  int
-	logPath  string
-	httpAddr string
+	logPath    string
+	httpAddr   string
+	eventsPath string
 }
 
 // runSoak executes the soak and exits: 0 when every invariant held, 1 on
@@ -53,6 +54,21 @@ func runSoak(cli soakCLI) {
 	if cli.httpAddr != "" {
 		cfg.Telemetry = fedca.NewTelemetry()
 	}
+	// The flight recorder is always on in soak mode: violations carry their
+	// causal event window in the report, and /events serves it live.
+	cfg.Journal = fedca.NewJournal(0)
+	if cli.eventsPath != "" {
+		f, err := os.Create(cli.eventsPath)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedca-sim: events:", err)
+			}
+		}()
+		cfg.EventWriter = f
+	}
 	if cli.logPath != "" {
 		w, err := runlog.Create(cli.logPath)
 		if err != nil {
@@ -76,7 +92,7 @@ func runSoak(cli soakCLI) {
 				fmt.Fprintln(os.Stderr, "fedca-sim: http:", err)
 			}
 		}()
-		fmt.Printf("telemetry: serving /metrics, /status and /debug/pprof on %s\n", cli.httpAddr)
+		fmt.Printf("telemetry: serving /metrics, /status, /events, /clients and /debug/pprof on %s\n", cli.httpAddr)
 	}
 	schedule := cfg.Schedule
 	if schedule == "" {
@@ -107,6 +123,9 @@ func runSoak(cli soakCLI) {
 		fmt.Fprintf(os.Stderr, "soak: FAIL — %d violation(s):\n", len(rep.Violations))
 		for _, v := range rep.Violations {
 			fmt.Fprintf(os.Stderr, "  [%s] phase %d (%s) round %d: %s\n", v.Monitor, v.PhaseIndex, v.Phase, v.Round, v.Detail)
+			if n := len(v.Events); n > 0 {
+				fmt.Fprintf(os.Stderr, "    context: %d journal events captured (see the report's events field)\n", n)
+			}
 			fmt.Fprintf(os.Stderr, "    reproduce: fedca-sim -soak-repro REPORT.json:%d   (or soak.RunPhase with seed %d)\n", v.PhaseIndex, v.Seed)
 		}
 		os.Exit(1)

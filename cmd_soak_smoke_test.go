@@ -1,6 +1,7 @@
 package fedca_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"fedca/internal/runlog"
 	"fedca/internal/soak"
+	"fedca/internal/telemetry"
 )
 
 // TestSoakCommandSmoke exercises fedca-sim's soak mode end to end: a tiny
@@ -30,16 +32,45 @@ func TestSoakCommandSmoke(t *testing.T) {
 	const tiny = ";clients=2;iters=2;batch=4;train=32;test=16"
 	reportPath := filepath.Join(dir, "report.json")
 	logPath := filepath.Join(dir, "soak.jsonl")
+	eventsPath := filepath.Join(dir, "events.jsonl")
 	run := exec.Command(bin, "-soak", "-soak-rounds", "6",
 		"-soak-spec", "name=calm;rounds=2"+tiny+"|name=storm;rounds=2"+tiny+";chaos=drop=0.3;quorum=1",
 		"-soak-check", "2", "-soak-recheck", "1",
-		"-soak-report", reportPath, "-log", logPath, "-seed", "9")
+		"-soak-report", reportPath, "-log", logPath, "-events", eventsPath, "-seed", "9")
 	out, err := run.CombinedOutput()
 	if err != nil {
 		t.Fatalf("fedca-sim -soak: %v\n%s", err, out)
 	}
 	if !strings.Contains(string(out), "soak: PASS") {
 		t.Fatalf("soak did not pass:\n%s", out)
+	}
+
+	// -events streams the flight recorder as JSONL: one valid event per line,
+	// strictly ascending seqs, with every round and phase transition present.
+	eventsRaw, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq uint64
+	roundEvents, phaseEnds := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(eventsRaw)), "\n") {
+		var e telemetry.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("events line not valid JSON: %v\n%s", err, line)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("events stream not ascending: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Type {
+		case telemetry.EvRound, telemetry.EvRoundSkip:
+			roundEvents++
+		case telemetry.EvPhaseEnd:
+			phaseEnds++
+		}
+	}
+	if roundEvents != 6 || phaseEnds != 3 {
+		t.Fatalf("events stream has %d round / %d phase-end events, want 6/3", roundEvents, phaseEnds)
 	}
 
 	rep, err := soak.ReadReport(reportPath)
@@ -88,6 +119,16 @@ func TestSoakCommandSmoke(t *testing.T) {
 	}
 	if badRep.Pass || len(badRep.Violations) == 0 {
 		t.Fatalf("failing report not recorded: %+v", badRep)
+	}
+	// The violation's report entry must carry its journal event context (the
+	// soak CLI always runs with the flight recorder on).
+	for i, v := range badRep.Violations {
+		if len(v.Events) == 0 {
+			t.Fatalf("violation %d carries no journal events: %+v", i, v)
+		}
+	}
+	if !strings.Contains(string(badOut), "journal events captured") {
+		t.Fatalf("violation output does not mention captured events:\n%s", badOut)
 	}
 	repro2, err := exec.Command(bin, "-soak-repro", badReport+":0").CombinedOutput()
 	if err != nil {

@@ -37,12 +37,29 @@ type Telemetry = telemetry.Sink
 // NewTelemetry builds an enabled telemetry sink to set as Options.Telemetry.
 func NewTelemetry() *Telemetry { return telemetry.New() }
 
+// Journal is the flight recorder of a run: a fixed-capacity ring buffer of
+// structured events (rounds, quarantines, dropouts, anchor aborts, chaos
+// impairment windows, cell activity, soak transitions) with monotonic
+// sequence numbers, plus a bounded per-client cost-attribution table. Like
+// Telemetry it is deterministically inert: attaching a journal never changes
+// a run's results, timings or random draws.
+type Journal = telemetry.Journal
+
+// Event is one journal entry.
+type Event = telemetry.Event
+
+// NewJournal builds a journal retaining the newest capacity events to set as
+// Options.Journal (capacity <= 0 selects the default of 4096).
+func NewJournal(capacity int) *Journal { return telemetry.NewJournal(capacity) }
+
 // NewTelemetryMux builds an http.Handler serving the sink's live
-// introspection surface: /metrics (Prometheus text format), /metrics.json,
-// /status (the federation's Snapshot) and /debug/pprof. Safe to serve while
-// rounds run.
+// introspection surface: /metrics (Prometheus text format, with
+// fedca_runtime_* health gauges refreshed on scrape), /metrics.json, /status
+// (the federation's Snapshot), /events and /clients (the federation's
+// journal, when one is attached), /healthz and /debug/pprof. Safe to serve
+// while rounds run.
 func NewTelemetryMux(t *Telemetry, f *Federation) http.Handler {
-	return telemetry.NewMux(t, func() any { return f.Snapshot() })
+	return telemetry.NewMux(t, f.Journal(), func() any { return f.Snapshot() })
 }
 
 // Options configures a Federation. The zero value is not valid; start from
@@ -100,6 +117,11 @@ type Options struct {
 	// virtual-time spans (build one with NewTelemetry). Nil disables
 	// observability at zero cost; enabling it never changes a run.
 	Telemetry *Telemetry
+
+	// Journal, when non-nil, records the run's flight-recorder events and
+	// per-client cost attribution (build one with NewJournal). Nil disables
+	// it at zero cost; enabling it never changes a run.
+	Journal *Journal
 
 	// FedCA carries the FedCA hyperparameters (ignored by other schemes).
 	FedCA core.Options
@@ -200,6 +222,7 @@ func New(opts Options) (*Federation, error) {
 	w.FL.MinQuorum = opts.MinQuorum
 	w.FL.MaxDeltaNorm = opts.MaxDeltaNorm
 	w.FL.Telemetry = opts.Telemetry
+	w.FL.Journal = opts.Journal
 	comp, err := compress.ByName(opts.Compress)
 	if err != nil {
 		return nil, err
@@ -244,6 +267,7 @@ func New(opts Options) (*Federation, error) {
 		}
 		fedcaScheme = core.NewScheme(o, rng.New(opts.Seed).Fork("scheme"))
 		fedcaScheme.SetTelemetry(opts.Telemetry)
+		fedcaScheme.SetJournal(opts.Journal)
 		scheme = fedcaScheme
 	default:
 		return nil, fmt.Errorf("fedca: unknown scheme %q", opts.Scheme)
@@ -327,6 +351,16 @@ func (f *Federation) Accuracy() float64 {
 
 // Now returns the current virtual time in seconds.
 func (f *Federation) Now() float64 { return f.runner.Now() }
+
+// Journal returns the flight recorder attached at construction (nil when
+// Options.Journal was nil).
+func (f *Federation) Journal() *Journal { return f.opts.Journal }
+
+// Events returns every retained journal event with sequence number > since,
+// in ascending order (Events(0) returns the whole retained window; nil when
+// no journal is attached). Safe to call from any goroutine, including while
+// RunRound executes.
+func (f *Federation) Events(since uint64) []Event { return f.opts.Journal.Since(since) }
 
 // Rounds returns every completed round.
 func (f *Federation) Rounds() []Round {

@@ -102,6 +102,10 @@ type Scheme struct {
 	// tel mirrors the behavioural stats into live telemetry counters.
 	// Set once before the run (SetTelemetry); nil disables mirroring.
 	tel *telemetry.Sink
+
+	// journal receives flight-recorder events for scheme-level incidents
+	// (anchor aborts). Set once before the run (SetJournal); nil disables.
+	journal *telemetry.Journal
 }
 
 // SchemeStats aggregates FedCA's runtime behaviour over a run.
@@ -149,6 +153,11 @@ func (s *Scheme) Name() string {
 // eager transmissions, retransmissions, anchor activity) is mirrored into its
 // counters as it happens. Call before the run starts; a nil sink is fine.
 func (s *Scheme) SetTelemetry(t *telemetry.Sink) { s.tel = t }
+
+// SetJournal attaches a flight-recorder journal: scheme-level incidents
+// (anchor aborts) are recorded as structured events. Call before the run
+// starts; a nil journal is fine.
+func (s *Scheme) SetJournal(j *telemetry.Journal) { s.journal = j }
 
 // Stats returns a snapshot of the accumulated behavioural statistics. It is
 // safe to call from any goroutine, including while a round is executing.
@@ -241,7 +250,7 @@ func (s *Scheme) NewController(c *fl.Client, round int, plan fl.RoundPlan) fl.Co
 			s.tel.AnchorRounds.Inc()
 		}
 	}
-	return &controller{s: s, prof: p, anchor: anchor, deadline: plan.Deadline}
+	return &controller{s: s, prof: p, anchor: anchor, deadline: plan.Deadline, cid: c.ID, round: round}
 }
 
 // controller is FedCA's per-client, per-round decision maker. It implements
@@ -253,6 +262,8 @@ type controller struct {
 	prof     *Profiler
 	anchor   bool
 	deadline float64
+	cid      int
+	round    int
 
 	stopped   bool
 	stopIter  int
@@ -325,6 +336,8 @@ func (c *controller) OnDropout(iter int) {
 		if c.s.tel != nil {
 			c.s.tel.AnchorAborts.Inc()
 		}
+		// Worker-side emission: the journal is mutex-sharded and safe here.
+		c.s.journal.AnchorAbort(c.round, c.cid, iter)
 	}
 	c.s.statsMu.Lock()
 	defer c.s.statsMu.Unlock()

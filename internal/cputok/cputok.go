@@ -57,7 +57,8 @@ type Budget struct {
 	// last ResetMax; tests use it to assert the goroutine bound.
 	maxInUse int
 
-	gauge atomic.Value // Gauge
+	gauge   atomic.Value // gaugeBox
+	capHook atomic.Value // hookBox
 }
 
 // NewBudget builds a budget with the given capacity; capacity <= 0 tracks
@@ -104,9 +105,36 @@ func (b *Budget) Setting() int {
 // acquisitions until enough are returned.
 func (b *Budget) SetCap(n int) {
 	b.mu.Lock()
+	old := b.capacity
 	b.capacity = n
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	if old != n {
+		if v := b.capHook.Load(); v != nil {
+			if h := v.(hookBox).h; h != nil {
+				h(old, n)
+			}
+		}
+	}
+}
+
+// CapHook observes capacity changes (SetCap calls it with the raw settings —
+// <= 0 means "track GOMAXPROCS"). The telemetry journal records them as
+// cputok-cap events.
+type CapHook func(oldCap, newCap int)
+
+// hookBox wraps the hook so atomic.Value tolerates nil stores.
+type hookBox struct{ h CapHook }
+
+// SetCapHook attaches a capacity-change observer and returns the previously
+// attached one (nil detaches). The hook runs on the SetCap caller's goroutine
+// outside the budget's lock, so it may touch the budget freely.
+func (b *Budget) SetCapHook(h CapHook) CapHook {
+	var prev CapHook
+	if v := b.capHook.Swap(hookBox{h}); v != nil {
+		prev = v.(hookBox).h
+	}
+	return prev
 }
 
 // Acquire blocks until a token is free and takes it. Top-level admission
@@ -206,6 +234,46 @@ func (b *Budget) SetGauge(g Gauge) {
 	b.mu.Unlock()
 	if g != nil {
 		g.Set(float64(inUse))
+	}
+}
+
+// SwapGauge attaches g (nil detaches) and returns the previously attached
+// gauge, so a short-lived sink can hand the budget back on close
+// (ReleaseGauge) instead of leaving it writing into a discarded registry.
+func (b *Budget) SwapGauge(g Gauge) Gauge {
+	b.mu.Lock()
+	inUse := b.inUse
+	var prev Gauge
+	if v := b.gauge.Load(); v != nil {
+		prev = v.(gaugeBox).g
+	}
+	b.gauge.Store(gaugeBox{g})
+	b.mu.Unlock()
+	if g != nil {
+		g.Set(float64(inUse))
+	}
+	return prev
+}
+
+// ReleaseGauge detaches cur and restores prev — but only while cur is still
+// the attached gauge. If a later sink already swapped itself in, the release
+// is a no-op (latest sink wins), so out-of-order closes never clobber a live
+// attachment.
+func (b *Budget) ReleaseGauge(cur, prev Gauge) {
+	b.mu.Lock()
+	inUse := b.inUse
+	attached := Gauge(nil)
+	if v := b.gauge.Load(); v != nil {
+		attached = v.(gaugeBox).g
+	}
+	if attached != cur {
+		b.mu.Unlock()
+		return
+	}
+	b.gauge.Store(gaugeBox{prev})
+	b.mu.Unlock()
+	if prev != nil {
+		prev.Set(float64(inUse))
 	}
 }
 

@@ -353,3 +353,101 @@ func TestSetCapShrinkBelowInflight(t *testing.T) {
 		t.Fatalf("inflight = %d after full drain", got)
 	}
 }
+
+// TestSwapGaugeRestore covers the swap-with-restore contract sinks rely on:
+// SwapGauge returns the predecessor, the old gauge stops receiving updates,
+// and ReleaseGauge re-syncs the predecessor to the live in-flight count.
+func TestSwapGaugeRestore(t *testing.T) {
+	b := NewBudget(4)
+	g1, g2 := &fakeGauge{}, &fakeGauge{}
+	if prev := b.SwapGauge(g1); prev != nil {
+		t.Fatalf("first SwapGauge returned %v, want nil", prev)
+	}
+	if got := g1.get(); got != 0 {
+		t.Fatalf("g1 after attach = %v, want 0", got)
+	}
+	b.Borrow(2)
+	prev := b.SwapGauge(g2)
+	if prev != Gauge(g1) {
+		t.Fatalf("SwapGauge returned %v, want the previously attached gauge", prev)
+	}
+	if got := g2.get(); got != 2 {
+		t.Fatalf("g2 after attach = %v, want the current in-flight 2", got)
+	}
+	b.Borrow(1)
+	if got := g2.get(); got != 3 {
+		t.Fatalf("g2 after Borrow = %v, want 3", got)
+	}
+	if got := g1.get(); got != 2 {
+		t.Fatalf("detached g1 moved to %v, want stale 2", got)
+	}
+	b.ReleaseGauge(g2, prev)
+	if got := g1.get(); got != 3 {
+		t.Fatalf("g1 after release = %v, want re-synced 3", got)
+	}
+	b.Return(3)
+	if got := g1.get(); got != 0 {
+		t.Fatalf("g1 after drain = %v, want 0", got)
+	}
+	if got := g2.get(); got != 3 {
+		t.Fatalf("released g2 still receiving updates: %v", got)
+	}
+}
+
+// TestReleaseGaugeOutOfOrder pins the compare-and-restore semantics: a gauge
+// that is no longer attached releases as a no-op, so closing observers out of
+// order never detaches the live one (latest attacher wins).
+func TestReleaseGaugeOutOfOrder(t *testing.T) {
+	b := NewBudget(4)
+	g1, g2 := &fakeGauge{}, &fakeGauge{}
+	p1 := b.SwapGauge(g1)
+	p2 := b.SwapGauge(g2)
+	b.ReleaseGauge(g1, p1) // g1 is not attached: must be a no-op
+	b.Borrow(1)
+	if got := g2.get(); got != 1 {
+		t.Fatalf("out-of-order release detached the live gauge: g2 = %v", got)
+	}
+	if got := g1.get(); got != 0 {
+		t.Fatalf("g1 received an update while detached: %v", got)
+	}
+	b.ReleaseGauge(g2, p2)
+	if got := g1.get(); got != 1 {
+		t.Fatalf("g1 after the live release = %v, want restored and re-synced to 1", got)
+	}
+	b.Return(1)
+	if got := g1.get(); got != 0 {
+		t.Fatalf("restored g1 after drain = %v, want 0", got)
+	}
+}
+
+// TestSetCapHookFiresOnChange covers the capacity-change hook the journal
+// installs: it fires only when the setting actually changes, SetCapHook
+// returns the predecessor, and nil detaches.
+func TestSetCapHookFiresOnChange(t *testing.T) {
+	b := NewBudget(4)
+	type change struct{ old, new int }
+	var calls []change
+	if prev := b.SetCapHook(func(o, n int) { calls = append(calls, change{o, n}) }); prev != nil {
+		t.Fatal("fresh budget returned a previous hook")
+	}
+	b.SetCap(4) // unchanged setting: must not fire
+	b.SetCap(2)
+	b.SetCap(2) // unchanged again
+	b.SetCap(0) // switch to GOMAXPROCS tracking: a setting change
+	if len(calls) != 2 || calls[0] != (change{4, 2}) || calls[1] != (change{2, 0}) {
+		t.Fatalf("cap hook calls = %+v, want [{4 2} {2 0}]", calls)
+	}
+	var second []change
+	if prev := b.SetCapHook(func(o, n int) { second = append(second, change{o, n}) }); prev == nil {
+		t.Fatal("SetCapHook did not return the previous hook")
+	}
+	b.SetCap(3)
+	if len(calls) != 2 || len(second) != 1 {
+		t.Fatalf("replaced hook fired: calls=%d second=%d", len(calls), len(second))
+	}
+	b.SetCapHook(nil)
+	b.SetCap(1)
+	if len(second) != 1 {
+		t.Fatal("detached hook fired")
+	}
+}

@@ -55,6 +55,9 @@ type Options struct {
 	// Metrics, when non-nil, mirrors the pool's hit/miss/dedup/inflight
 	// counters into a telemetry registry under fedca_execpool_*.
 	Metrics *telemetry.Registry
+	// Journal, when non-nil, records cell starts, finishes and cache hits as
+	// flight-recorder events (nil-safe, observational only).
+	Journal *telemetry.Journal
 }
 
 // Stats is a point-in-time snapshot of a pool's counters.
@@ -83,6 +86,7 @@ type Pool struct {
 	tokens  chan struct{}
 	version string
 	cache   *diskCache
+	journal *telemetry.Journal
 
 	mu       sync.Mutex
 	mem      map[string]any
@@ -107,6 +111,7 @@ func New(o Options) *Pool {
 		version:  o.Version,
 		mem:      make(map[string]any),
 		inflight: make(map[string]*flight),
+		journal:  o.Journal,
 	}
 	if o.CacheDir != "" {
 		p.cache = &diskCache{dir: o.CacheDir}
@@ -190,6 +195,7 @@ func Do[T any](p *Pool, spec Spec, compute func() T) T {
 	if v, ok := p.mem[fp]; ok {
 		p.mu.Unlock()
 		p.count(&p.memHits, p.tel.memHits)
+		p.journal.CellHit(spec.Kind, fp, "memory")
 		return v.(T)
 	}
 	if f, ok := p.inflight[fp]; ok {
@@ -226,6 +232,7 @@ func Do[T any](p *Pool, spec Spec, compute func() T) T {
 			case err == nil:
 				fromDisk = true
 				p.count(&p.diskHits, p.tel.diskHits)
+				p.journal.CellHit(spec.Kind, fp, "disk")
 				return
 			case err != errCacheMiss:
 				p.count(&p.diskErrors, p.tel.diskErrors)
@@ -251,8 +258,10 @@ func Do[T any](p *Pool, spec Spec, compute func() T) T {
 			cputok.Default().Release()
 			<-p.tokens
 		}()
+		p.journal.CellStart(spec.Kind, fp)
 		v = compute()
 		p.count(&p.computed, p.tel.computed)
+		p.journal.CellFinish(spec.Kind, fp)
 	}()
 	if f.panicked != nil {
 		panic(f.panicked)

@@ -110,11 +110,16 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	// installed right after the round-start reset, before any transfer.
 	cplan := cfg.Chaos.Plan(c.ID, round, budget, cfg.BaseIterTime)
 	if cplan != nil {
+		// Journal emission runs worker-side; the journal is mutex-sharded, so
+		// concurrent clients interleave safely (event order across clients is
+		// not part of the determinism contract — run logs exclude the journal).
 		for _, w := range cplan.Down {
 			c.Down.Impair(roundStart+w.From, roundStart+w.To, w.Scale)
+			cfg.Journal.Impairment(round, c.ID, "down", roundStart+w.From, roundStart+w.To, w.Scale)
 		}
 		for _, w := range cplan.Up {
 			c.Up.Impair(roundStart+w.From, roundStart+w.To, w.Scale)
+			cfg.Journal.Impairment(round, c.ID, "up", roundStart+w.From, roundStart+w.To, w.Scale)
 		}
 	}
 

@@ -122,6 +122,12 @@ type Config struct {
 	// virtual-time arithmetic — so enabling it never changes a run
 	// (TestTelemetryInert). Nil disables it at zero cost.
 	Telemetry *telemetry.Sink
+
+	// Journal, when non-nil, receives structured flight-recorder events
+	// (rounds, quarantines, dropouts, impairment windows) and per-client cost
+	// attribution. Like Telemetry it is observational only: no RNG draws, no
+	// virtual-time arithmetic, nil-safe and allocation-free when disabled.
+	Journal *telemetry.Journal
 }
 
 // Validate applies defaults and rejects nonsense.

@@ -392,6 +392,25 @@ func (r *Runner) RunRound() RoundResult {
 
 	r.Cfg.Telemetry.RoundDone(r.round, start, end, res.Accuracy, len(collected), quarantined, dropped, skipped)
 
+	// Journal the round serially: per-client attribution for every
+	// participant, then one event per quarantine/dropout, then the round
+	// summary. Like the sink, the journal is observational only.
+	if j := r.Cfg.Journal; j != nil {
+		for _, u := range collected {
+			j.ObserveUpdate(u.ClientID, u.Iterations, u.TrainTime, u.UploadBytes, u.LinkRetries, false, false)
+		}
+		for _, u := range discarded {
+			j.ObserveUpdate(u.ClientID, u.Iterations, u.TrainTime, u.UploadBytes, u.LinkRetries, u.Dropped, u.Quarantined)
+			if u.Quarantined {
+				j.Quarantine(r.round, u.ClientID, u.CompletionTime)
+			}
+			if u.Dropped {
+				j.Dropout(r.round, u.ClientID, u.Iterations, start+u.TrainTime)
+			}
+		}
+		j.RoundDone(r.round, end, len(collected), quarantined, dropped, skipped)
+	}
+
 	r.round++
 	r.now = end
 	return res

@@ -14,12 +14,13 @@ import (
 )
 
 // TestTelemetryInert is the determinism contract for the observability layer:
-// attaching a telemetry sink must not change a run in any observable way. A
-// chaos-enabled run with a sink must produce a byte-identical run log and
-// bit-identical global parameters versus the same seed with telemetry off —
-// telemetry consumes no RNG draws and performs no virtual-time arithmetic.
+// attaching a telemetry sink and an event journal must not change a run in
+// any observable way. A chaos-enabled run with both must produce a
+// byte-identical run log and bit-identical global parameters versus the same
+// seed with telemetry off — the observability layer consumes no RNG draws and
+// performs no virtual-time arithmetic.
 func TestTelemetryInert(t *testing.T) {
-	run := func(sink *telemetry.Sink) ([]byte, []float64, fl.RunnerStats) {
+	run := func(sink *telemetry.Sink, journal *telemetry.Journal) ([]byte, []float64, fl.RunnerStats) {
 		eng, err := chaos.NewEngine(chaos.Config{
 			DropProb:     0.3,
 			SlowProb:     0.5,
@@ -35,6 +36,7 @@ func TestTelemetryInert(t *testing.T) {
 		w.FL.Chaos = eng
 		w.FL.MaxDeltaNorm = 1e6
 		w.FL.Telemetry = sink
+		w.FL.Journal = journal
 		tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
 		r, err := tb.NewRunner(baseline.FedAvg{})
 		if err != nil {
@@ -60,8 +62,10 @@ func TestTelemetryInert(t *testing.T) {
 	}
 
 	sink := telemetry.New()
-	offLog, offParams, offStats := run(nil)
-	onLog, onParams, onStats := run(sink)
+	defer sink.Close()
+	journal := telemetry.NewJournal(512)
+	offLog, offParams, offStats := run(nil, nil)
+	onLog, onParams, onStats := run(sink, journal)
 
 	if !bytes.Equal(offLog, onLog) {
 		t.Fatalf("run log differs with telemetry attached:\n--- off ---\n%s\n--- on ---\n%s", offLog, onLog)
@@ -91,5 +95,22 @@ func TestTelemetryInert(t *testing.T) {
 	}
 	if sink.UplinkBytes.Value() == 0 {
 		t.Fatal("sink recorded no uplink traffic")
+	}
+	// Same guard for the journal: the inert run must still have filled it.
+	events := journal.Since(0)
+	if len(events) == 0 {
+		t.Fatal("journal recorded no events")
+	}
+	rounds := 0
+	for _, e := range events {
+		if e.Type == telemetry.EvRound || e.Type == telemetry.EvRoundSkip {
+			rounds++
+		}
+	}
+	if rounds != 3 {
+		t.Fatalf("journal saw %d round events, want 3", rounds)
+	}
+	if journal.Clients().Len() == 0 {
+		t.Fatal("journal attributed no client-rounds")
 	}
 }

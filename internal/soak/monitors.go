@@ -36,6 +36,10 @@ type Violation struct {
 	Seed   uint64 `json:"seed"`
 	Spec   string `json:"spec"`
 	Detail string `json:"detail"`
+	// Events is the journal's newest events at detection time (when the soak
+	// ran with a flight recorder attached): the causal window just before the
+	// breach, carried in the report so a nightly violation explains itself.
+	Events []telemetry.Event `json:"events,omitempty"`
 }
 
 // Monitor is a pluggable soak invariant. Sample is called every

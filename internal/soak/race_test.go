@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fedca"
+	"fedca/internal/telemetry"
 )
 
 // TestSoakConcurrentIntrospection runs a ~100-round soak with every monitor
@@ -21,6 +22,8 @@ func TestSoakConcurrentIntrospection(t *testing.T) {
 		t.Skip("soak smoke skipped in -short")
 	}
 	tel := fedca.NewTelemetry()
+	defer tel.Close()
+	journal := fedca.NewJournal(512)
 	cfg := Config{
 		Schedule: "name=race-calm;rounds=25" +
 			"|name=race-chaos;rounds=25;chaos=drop=0.2,slow=0.3,xfail=0.1,retries=3;quorum=1",
@@ -30,6 +33,7 @@ func TestSoakConcurrentIntrospection(t *testing.T) {
 		CheckEvery:   5,
 		RecheckEvery: 2,
 		Telemetry:    tel,
+		Journal:      journal,
 	}
 	r, err := New(cfg)
 	if err != nil {
@@ -51,7 +55,7 @@ func TestSoakConcurrentIntrospection(t *testing.T) {
 				return
 			default:
 			}
-			for _, path := range []string{"/metrics", "/metrics.json", "/status"} {
+			for _, path := range []string{"/metrics", "/metrics.json", "/status", "/events", "/clients?k=5", "/healthz"} {
 				resp, err := client.Get(srv.URL + path)
 				if err != nil {
 					t.Errorf("GET %s: %v", path, err)
@@ -59,6 +63,10 @@ func TestSoakConcurrentIntrospection(t *testing.T) {
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("GET %s = %d during soak", path, resp.StatusCode)
+					return
+				}
 			}
 			// Exercise the non-HTTP accessors the mux builds on, too.
 			st := r.Status()
@@ -67,6 +75,14 @@ func TestSoakConcurrentIntrospection(t *testing.T) {
 				return
 			}
 			_ = st.Federation.Tokens
+			// Read the journal directly while phases write it.
+			for _, e := range journal.Tail(16) {
+				if e.Seq == 0 {
+					t.Error("journal tail returned an unwritten slot")
+					return
+				}
+			}
+			_ = journal.Clients().TopK(3, "compute")
 			polls.Add(1)
 		}
 	}()
@@ -95,5 +111,27 @@ func TestSoakConcurrentIntrospection(t *testing.T) {
 	}
 	if st.Round != 100 {
 		t.Fatalf("final Status round = %d, want 100", st.Round)
+	}
+	// The journal must have followed the run: both phases recorded, events in
+	// order, and the attribution table populated.
+	events := journal.Since(0)
+	if len(events) == 0 {
+		t.Fatal("journal empty after a 100-round soak")
+	}
+	phases := 0
+	for i, e := range events {
+		if i > 0 && e.Seq <= events[i-1].Seq {
+			t.Fatalf("journal out of order at %d", i)
+		}
+		if e.Type == telemetry.EvPhaseEnd {
+			phases++
+		}
+	}
+	// 100 rounds over a 25+25 schedule = 4 phases (two full cycles).
+	if phases != 4 {
+		t.Fatalf("journal recorded %d phase-end events in the retained window, want 4", phases)
+	}
+	if journal.Clients().Len() == 0 {
+		t.Fatal("journal attributed no client-rounds")
 	}
 }

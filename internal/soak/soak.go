@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -55,6 +56,18 @@ type Config struct {
 	// Telemetry, when non-nil, receives every phase's live metrics plus the
 	// fedca_soak_* metric set, and feeds the HTTP mux (NewMux).
 	Telemetry *fedca.Telemetry
+	// Journal, when non-nil, records the whole soak's flight-recorder events:
+	// every phase's rounds and degradation incidents, phase transitions,
+	// CPU-token cap changes (the serial rechecks pin the cap) and monitor
+	// violations. Each violation's report entry additionally carries the
+	// journal's last events at detection time, so a nightly drift report
+	// alone explains the flagged phase. Feeds /events and /clients on NewMux.
+	Journal *fedca.Journal
+	// EventWriter, when non-nil alongside Journal, streams the journal to it
+	// as JSON lines: the runner drains new events at every phase boundary and
+	// at the end of the run, so the on-disk stream is complete even though
+	// the in-memory ring only retains the newest Journal.Cap() events.
+	EventWriter io.Writer
 	// Log, when non-nil, receives the whole soak as one continuous run log:
 	// a phase marker before each phase, then its rounds with globally
 	// monotonic round indices.
@@ -92,7 +105,15 @@ type Runner struct {
 	mu     sync.Mutex
 	cur    *fedca.Federation // running phase's federation, nil between phases
 	status Status
+
+	// drainedSeq is the last journal sequence number streamed to
+	// Config.EventWriter; only the soak goroutine touches it.
+	drainedSeq uint64
 }
+
+// violationEventTail is how many of the newest journal events each violation's
+// report entry carries — the causal window just before the breach.
+const violationEventTail = 32
 
 // New validates the configuration, resolves the schedule and assembles the
 // monitor set.
@@ -140,7 +161,7 @@ func New(cfg Config) (*Runner, error) {
 		base:     base,
 		// Workers 1: rechecks are the serial reference path by design, and
 		// the pool's singleflight/memoization still dedups repeats.
-		pool:    execpool.New(execpool.Options{Workers: 1, Version: cacheVersion}),
+		pool:    execpool.New(execpool.Options{Workers: 1, Version: cacheVersion, Journal: cfg.Journal}),
 		soakTel: telemetry.NewSoakMetrics(cfg.Telemetry.Registry()),
 		status:  Status{TotalRounds: cfg.Rounds},
 	}
@@ -178,7 +199,7 @@ func (r *Runner) Status() Status {
 // telemetry endpoints (/metrics, /metrics.json, /debug/pprof) with /status
 // serving the runner's live Status.
 func (r *Runner) NewMux() *http.ServeMux {
-	return telemetry.NewMux(r.cfg.Telemetry, func() any { return r.Status() })
+	return telemetry.NewMux(r.cfg.Telemetry, r.cfg.Journal, func() any { return r.Status() })
 }
 
 // Run executes the soak: phases rotate through the schedule until the round
@@ -199,9 +220,24 @@ func (r *Runner) Run() (*Report, error) {
 	r.setRunning(true)
 	defer r.setRunning(false)
 
+	// Journal CPU-token cap changes for the run's duration (the serial
+	// rechecks pin the cap to 1 and restore it); the previous hook — usually
+	// none — comes back when the soak ends.
+	if j := cfg.Journal; j != nil {
+		prev := budget.SetCapHook(j.CapChange)
+		defer budget.SetCapHook(prev)
+	}
+
 	record := func(vs []Violation) {
 		if len(vs) == 0 {
 			return
+		}
+		// Each violation carries the journal's newest events at detection
+		// time — the causal window — then marks itself in the journal so
+		// later violations' windows show earlier ones.
+		for i := range vs {
+			vs[i].Events = cfg.Journal.Tail(violationEventTail)
+			cfg.Journal.Violation(vs[i].Monitor, vs[i].Phase, vs[i].Round, vs[i].Detail)
 		}
 		rep.Violations = append(rep.Violations, vs...)
 		r.soakTel.Violation(len(vs))
@@ -226,6 +262,7 @@ func (r *Runner) Run() (*Report, error) {
 			Rounds:     p.Rounds,
 		}
 		r.soakTel.PhaseStart(info.Index, info.Cycle, info.Rounds)
+		cfg.Journal.PhaseStart(info.Index, info.Name, info.Spec)
 		r.mu.Lock()
 		r.status.Phase = info.Index
 		r.status.PhaseName = info.Name
@@ -265,13 +302,16 @@ func (r *Runner) Run() (*Report, error) {
 		res.HeapBytes = ms.HeapAlloc
 		r.soakTel.PhaseDone(ms.HeapAlloc)
 
+		cfg.Journal.PhaseEnd(info.Index, info.Name, res.Fingerprint)
 		rep.Phases = append(rep.Phases, res)
 		for _, m := range r.monitors {
 			record(m.PhaseEnd(res))
 		}
+		r.drainEvents()
 		globalRound += p.Rounds
 	}
 
+	r.drainEvents()
 	rep.Rounds = globalRound
 	rep.TokenCap = budget.Cap()
 	rep.MaxInflight = budget.MaxInflight()
@@ -283,7 +323,7 @@ func (r *Runner) Run() (*Report, error) {
 // runPhase executes one phase's federation and returns its outcome (heap
 // measure left to the caller). Monitors sample through the record callback.
 func (r *Runner) runPhase(info PhaseInfo, p Phase, record func([]Violation)) (PhaseResult, error) {
-	fed, err := fedca.New(p.options(info.Seed, r.cfg.Telemetry))
+	fed, err := fedca.New(p.options(info.Seed, r.cfg.Telemetry, r.cfg.Journal))
 	if err != nil {
 		return PhaseResult{}, fmt.Errorf("soak: phase %d (%s): %w", info.Index, info.Name, err)
 	}
@@ -385,7 +425,7 @@ func recordFromRound(rd fedca.Round) runlog.Record {
 // options builds the fedca.Options a phase's federation is constructed
 // from. Heterogeneous/dynamic client speeds stay on (the paper's regime);
 // everything else comes from the phase.
-func (p Phase) options(seed uint64, tel *fedca.Telemetry) fedca.Options {
+func (p Phase) options(seed uint64, tel *fedca.Telemetry, j *fedca.Journal) fedca.Options {
 	chaosSpec := p.Chaos
 	if chaosSpec == "none" {
 		chaosSpec = ""
@@ -407,6 +447,7 @@ func (p Phase) options(seed uint64, tel *fedca.Telemetry) fedca.Options {
 		Heterogeneous: true,
 		Dynamic:       true,
 		Telemetry:     tel,
+		Journal:       j,
 	}
 }
 
@@ -429,7 +470,7 @@ func RunPhase(spec string, seed uint64, tel *fedca.Telemetry) (PhaseResult, erro
 		return PhaseResult{}, err
 	}
 	info := PhaseInfo{Name: p.Name, Seed: seed, Spec: p.Spec(), Rounds: p.Rounds}
-	fed, err := fedca.New(p.options(seed, tel))
+	fed, err := fedca.New(p.options(seed, tel, nil))
 	if err != nil {
 		return PhaseResult{}, err
 	}
@@ -472,6 +513,10 @@ func recheckPhase(pool *execpool.Pool, p PhaseResult, withTelemetry bool) (strin
 		var tel *fedca.Telemetry
 		if withTelemetry {
 			tel = fedca.NewTelemetry()
+			// Hand the process-wide cputok gauge back when the recheck is
+			// done: without this, every recheck left the budget writing into
+			// its discarded registry, blinding the live soak sink's gauge.
+			defer tel.Close()
 		}
 		out, err := RunPhase(p.Spec, p.Seed, tel)
 		if err != nil {
@@ -483,6 +528,26 @@ func recheckPhase(pool *execpool.Pool, p PhaseResult, withTelemetry bool) (strin
 		return "", fmt.Errorf("soak: recheck: %s", res.Err)
 	}
 	return res.Fingerprint, nil
+}
+
+// drainEvents streams journal events newer than the last drain to the
+// configured EventWriter as JSON lines. Called at phase boundaries, so the
+// on-disk stream stays complete as long as a phase emits fewer events than
+// the ring retains. Write errors are swallowed: event streaming is best
+// effort and must not abort a soak.
+func (r *Runner) drainEvents() {
+	j, w := r.cfg.Journal, r.cfg.EventWriter
+	if j == nil || w == nil {
+		return
+	}
+	for _, e := range j.Since(r.drainedSeq) {
+		b, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		_, _ = w.Write(append(b, '\n'))
+		r.drainedSeq = e.Seq
+	}
 }
 
 func (r *Runner) setRunning(v bool) {

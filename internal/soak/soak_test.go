@@ -6,6 +6,7 @@ import (
 
 	"fedca"
 	"fedca/internal/runlog"
+	"fedca/internal/telemetry"
 )
 
 // tinyBase returns a base phase small enough for unit tests: a couple of
@@ -75,7 +76,8 @@ func TestSoakRunCleanSchedule(t *testing.T) {
 
 // TestSoakInjectedViolationReproduces is the acceptance test from the issue:
 // an impossible quarantine band must produce a violation whose recorded spec
-// string and seed reproduce the flagged phase bit-identically.
+// string and seed reproduce the flagged phase bit-identically, and whose
+// report entry carries the journal's event window from just before it fired.
 func TestSoakInjectedViolationReproduces(t *testing.T) {
 	cfg := Config{
 		// quarband=0.9:1 demands >=90% of updates be quarantined — impossible
@@ -86,6 +88,7 @@ func TestSoakInjectedViolationReproduces(t *testing.T) {
 		Base:         tinyBase(),
 		CheckEvery:   1,
 		RecheckEvery: -1,
+		Journal:      fedca.NewJournal(0),
 	}
 	r, err := New(cfg)
 	if err != nil {
@@ -110,6 +113,42 @@ func TestSoakInjectedViolationReproduces(t *testing.T) {
 	}
 	if v.Spec == "" || v.Phase != "impossible" {
 		t.Fatalf("violation not self-describing: %+v", v)
+	}
+	// The flight recorder's causal window: the violation entry must carry the
+	// journal events leading up to it, in order, including the phase's rounds.
+	if len(v.Events) == 0 {
+		t.Fatal("violation carries no journal events")
+	}
+	roundEvents := 0
+	for i, e := range v.Events {
+		if i > 0 && e.Seq <= v.Events[i-1].Seq {
+			t.Fatalf("violation events out of order: %+v", v.Events)
+		}
+		if e.Type == telemetry.EvRound || e.Type == telemetry.EvRoundSkip {
+			roundEvents++
+		}
+	}
+	if roundEvents == 0 {
+		t.Fatalf("violation event window has no round events: %+v", v.Events)
+	}
+	// The window survives the report's JSON round trip.
+	path := t.TempDir() + "/violation-report.json"
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survived := false
+	for _, rv := range rt.Violations {
+		if rv.Monitor == v.Monitor && rv.Round == v.Round && len(rv.Events) == len(v.Events) {
+			survived = true
+			break
+		}
+	}
+	if !survived {
+		t.Fatalf("violation events drifted through JSON round trip: %+v", rt.Violations)
 	}
 
 	// Reproduce from the violation alone: spec + seed, nothing else.

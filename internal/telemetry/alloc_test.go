@@ -18,6 +18,31 @@ func TestDisabledTelemetryZeroAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("disabled telemetry allocated %v times per run, want 0", n)
 	}
+
+	// The disabled journal holds the same contract: every emission entry
+	// point the instrumented layers call must be a free nil check.
+	var j *Journal
+	if n := testing.AllocsPerRun(1000, func() {
+		j.RoundDone(3, 12.5, 8, 0, 0, false)
+		j.Quarantine(3, 1, 12.5)
+		j.Dropout(3, 2, 40, 12.5)
+		j.AnchorAbort(3, 2, 40)
+		j.Impairment(3, 1, "up", 0, 1, 0.5)
+		j.CellStart("phase", "abc")
+		j.CellFinish("phase", "abc")
+		j.CellHit("phase", "abc", "memory")
+		j.CapChange(0, 1)
+		j.PhaseStart(0, "x", "spec")
+		j.PhaseEnd(0, "x", "fp")
+		j.Violation("m", "p", 3, "d")
+		j.ObserveUpdate(1, 40, 4.5, 1024, 0, false, false)
+		j.Tail(8)
+		j.Since(0)
+		j.LastSeq()
+		j.Clients()
+	}); n != 0 {
+		t.Fatalf("disabled journal allocated %v times per run, want 0", n)
+	}
 }
 
 // TestEnabledHotPathZeroAllocs pins the per-iteration and per-transfer cost of

@@ -4,48 +4,104 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // NewMux builds the live introspection surface of a run:
 //
-//	/metrics        Prometheus text exposition of the sink's registry
+//	/metrics        Prometheus text exposition of the sink's registry,
+//	                with the fedca_runtime_* health gauges refreshed first
 //	/metrics.json   the same registry as a JSON array
 //	/status         the caller's status snapshot as JSON (current round,
 //	                runner and scheme stats — anything status() returns)
+//	/events         journal events with Seq > ?since=SEQ (ascending)
+//	/clients        per-client attribution, ?k=K top clients by ?sort=KEY
+//	/healthz        liveness probe: refreshes the runtime gauges and reports
+//	                ok plus the journal's last sequence number
 //	/debug/pprof/…  the standard net/http/pprof handlers
 //
-// status may be nil (the endpoint then serves the registry snapshot). Every
-// handler is safe to hit while the simulation runs: status() must only use
-// race-safe accessors (Runner.Stats, Scheme.Stats, sink gauges).
-func NewMux(s *Sink, status func() any) *http.ServeMux {
+// j may be nil (the journal endpoints then serve empty sets) and status may
+// be nil (the endpoint then serves the registry snapshot). Every handler is
+// safe to hit while the simulation runs: status() must only use race-safe
+// accessors (Runner.Stats, Scheme.Stats, sink gauges), and the journal is
+// internally locked.
+func NewMux(s *Sink, j *Journal, status func() any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg := s.Registry(); reg != nil {
+			s.Health().Refresh()
 			_ = reg.WriteProm(w)
 		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		if reg := s.Registry(); reg != nil {
-			_ = reg.WriteJSON(w)
+			s.Health().Refresh()
+			writeJSON(w, reg.Snapshot())
 		} else {
+			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write([]byte("[]\n"))
 		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		var v any
 		if status != nil {
 			v = status()
 		} else if reg := s.Registry(); reg != nil {
 			v = reg.Snapshot()
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(v); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		since := uint64(0)
+		if q := r.URL.Query().Get("since"); q != "" {
+			n, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = n
 		}
+		events := j.Since(since)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, map[string]any{
+			"last_seq": j.LastSeq(),
+			"events":   events,
+		})
+	})
+	mux.HandleFunc("/clients", func(w http.ResponseWriter, r *http.Request) {
+		k := 0
+		if q := r.URL.Query().Get("k"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad k: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+		by := r.URL.Query().Get("sort")
+		var stats []ClientStats
+		var untracked int64
+		if t := j.Clients(); t != nil {
+			stats = t.TopK(k, by)
+			untracked = t.Untracked()
+		}
+		if stats == nil {
+			stats = []ClientStats{}
+		}
+		writeJSON(w, map[string]any{
+			"clients":   stats,
+			"untracked": untracked,
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.Health().Refresh()
+		writeJSON(w, map[string]any{
+			"ok":       true,
+			"last_seq": j.LastSeq(),
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -53,4 +109,17 @@ func NewMux(s *Sink, status func() any) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeJSON marshals v to a buffer first and only then touches the
+// ResponseWriter, so an encoding failure yields a clean 500 instead of a 200
+// header followed by a truncated body (json.Encoder streams as it encodes).
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(buf, '\n'))
 }

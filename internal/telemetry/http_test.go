@@ -66,12 +66,14 @@ func TestHTTPIntrospectionDuringChaosRun(t *testing.T) {
 	w.FL.MaxDeltaNorm = 1e6
 	sink := telemetry.New()
 	w.FL.Telemetry = sink
+	journal := telemetry.NewJournal(256)
+	w.FL.Journal = journal
 	tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
 	runner, err := tb.NewRunner(baseline.FedAvg{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := telemetry.NewMux(sink, func() any {
+	mux := telemetry.NewMux(sink, journal, func() any {
 		return struct {
 			Round  float64        `json:"round"`
 			Runner fl.RunnerStats `json:"runner"`
@@ -91,7 +93,7 @@ func TestHTTPIntrospectionDuringChaosRun(t *testing.T) {
 				return
 			default:
 			}
-			for _, path := range []string{"/metrics", "/status", "/metrics.json"} {
+			for _, path := range []string{"/metrics", "/status", "/metrics.json", "/events", "/clients", "/healthz"} {
 				resp, err := srv.Client().Get(srv.URL + path)
 				if err != nil {
 					t.Errorf("GET %s during run: %v", path, err)
@@ -151,6 +153,102 @@ func TestHTTPIntrospectionDuringChaosRun(t *testing.T) {
 	if code, _, _ := get(t, srv, "/debug/pprof/"); code != 200 {
 		t.Fatalf("GET /debug/pprof/ = %d", code)
 	}
+
+	// /metrics must carry the runtime-health gauges refreshed on scrape.
+	_, _, promBody := get(t, srv, "/metrics")
+	if !strings.Contains(promBody, "fedca_runtime_goroutines") ||
+		!strings.Contains(promBody, "fedca_runtime_gomaxprocs") {
+		t.Fatalf("metrics output missing fedca_runtime_* gauges:\n%s", promBody)
+	}
+
+	// /events serves the journal ascending with a last_seq cursor.
+	code, ctype, body = get(t, srv, "/events")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("GET /events = %d %q", code, ctype)
+	}
+	var evResp struct {
+		LastSeq uint64            `json:"last_seq"`
+		Events  []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &evResp); err != nil {
+		t.Fatalf("events is not valid JSON: %v\n%s", err, body)
+	}
+	if len(evResp.Events) == 0 || evResp.LastSeq == 0 {
+		t.Fatalf("journal empty after a chaos run: %+v", evResp)
+	}
+	rounds := 0
+	for i, e := range evResp.Events {
+		if i > 0 && e.Seq <= evResp.Events[i-1].Seq {
+			t.Fatalf("events not ascending at %d: %+v", i, evResp.Events)
+		}
+		if e.Type == telemetry.EvRound || e.Type == telemetry.EvRoundSkip {
+			rounds++
+		}
+	}
+	if rounds != 3 {
+		t.Fatalf("journal has %d round events, want 3", rounds)
+	}
+	// since=last_seq returns nothing new.
+	code, _, body = get(t, srv, "/events?since="+jsonNumber(evResp.LastSeq))
+	if code != 200 {
+		t.Fatalf("GET /events?since = %d", code)
+	}
+	var tail struct {
+		Events []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 0 {
+		t.Fatalf("events since last_seq should be empty, got %d", len(tail.Events))
+	}
+	if code, _, _ := get(t, srv, "/events?since=bogus"); code != 400 {
+		t.Fatalf("GET /events?since=bogus = %d, want 400", code)
+	}
+
+	// /clients serves the attribution table, top-K ordered.
+	code, _, body = get(t, srv, "/clients?k=3&sort=compute")
+	if code != 200 {
+		t.Fatalf("GET /clients = %d", code)
+	}
+	var clResp struct {
+		Clients []telemetry.ClientStats `json:"clients"`
+	}
+	if err := json.Unmarshal([]byte(body), &clResp); err != nil {
+		t.Fatalf("clients is not valid JSON: %v\n%s", err, body)
+	}
+	if len(clResp.Clients) == 0 || len(clResp.Clients) > 3 {
+		t.Fatalf("clients k=3 returned %d entries", len(clResp.Clients))
+	}
+	for i := 1; i < len(clResp.Clients); i++ {
+		if clResp.Clients[i].ComputeSec > clResp.Clients[i-1].ComputeSec {
+			t.Fatalf("clients not sorted by compute desc: %+v", clResp.Clients)
+		}
+	}
+	if code, _, _ := get(t, srv, "/clients?k=bogus"); code != 400 {
+		t.Fatalf("GET /clients?k=bogus = %d, want 400", code)
+	}
+
+	// /healthz reports ok and the journal cursor.
+	code, _, body = get(t, srv, "/healthz")
+	if code != 200 {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var hz struct {
+		OK      bool   `json:"ok"`
+		LastSeq uint64 `json:"last_seq"`
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || hz.LastSeq != evResp.LastSeq {
+		t.Fatalf("healthz = %+v, want ok with last_seq %d", hz, evResp.LastSeq)
+	}
+}
+
+func jsonNumber(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
 }
 
 // TestMuxStatusFallback covers the mux with no status closure: /status must
@@ -158,7 +256,7 @@ func TestHTTPIntrospectionDuringChaosRun(t *testing.T) {
 func TestMuxStatusFallback(t *testing.T) {
 	sink := telemetry.New()
 	sink.Rounds.Inc()
-	srv := httptest.NewServer(telemetry.NewMux(sink, nil))
+	srv := httptest.NewServer(telemetry.NewMux(sink, nil, nil))
 	defer srv.Close()
 	code, _, body := get(t, srv, "/status")
 	if code != 200 {
@@ -166,5 +264,39 @@ func TestMuxStatusFallback(t *testing.T) {
 	}
 	if !strings.Contains(body, "fedca_rounds_total") {
 		t.Fatalf("fallback status missing metrics:\n%s", body)
+	}
+	// Journal endpoints degrade gracefully with no journal attached.
+	code, _, body = get(t, srv, "/events")
+	if code != 200 || !strings.Contains(body, `"events": []`) {
+		t.Fatalf("GET /events without journal = %d:\n%s", code, body)
+	}
+	code, _, body = get(t, srv, "/clients")
+	if code != 200 || !strings.Contains(body, `"clients": []`) {
+		t.Fatalf("GET /clients without journal = %d:\n%s", code, body)
+	}
+	if code, _, _ = get(t, srv, "/healthz"); code != 200 {
+		t.Fatalf("GET /healthz without journal = %d", code)
+	}
+}
+
+// TestMuxStatusEncodeFailure covers the partial-write bug: a status closure
+// returning an unmarshalable value must yield a clean 500 with an error body,
+// never a 200 header followed by truncated JSON (the old handler streamed
+// through json.Encoder and called http.Error after bytes were already out).
+func TestMuxStatusEncodeFailure(t *testing.T) {
+	sink := telemetry.New()
+	srv := httptest.NewServer(telemetry.NewMux(sink, nil, func() any {
+		return map[string]any{"bad": func() {}} // func values cannot marshal
+	}))
+	defer srv.Close()
+	code, ctype, body := get(t, srv, "/status")
+	if code != 500 {
+		t.Fatalf("GET /status with unmarshalable value = %d, want 500", code)
+	}
+	if strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("error response mislabelled as JSON: %q", ctype)
+	}
+	if strings.Contains(body, "{") {
+		t.Fatalf("error response leaked a partial JSON body:\n%s", body)
 	}
 }

@@ -1,0 +1,423 @@
+package telemetry
+
+// The journal is the simulator's flight recorder: a fixed-capacity,
+// mutex-sharded ring buffer of structured events with monotonic sequence
+// numbers. Where the metrics registry answers "how much" and the soak
+// monitors answer "did an invariant break", the journal answers "what exactly
+// happened just before it broke": round skips, quarantines, dropouts, anchor
+// aborts, chaos impairment windows, execpool cell activity, CPU-token cap
+// changes, soak phase transitions and monitor violations, in order.
+//
+// Like the Sink, a nil *Journal is the disabled state: every recording entry
+// point is nil-safe and allocation-free, so instrumented code needs no build
+// flags, and the journal is observational only — it consumes no RNG draws and
+// performs no virtual-time arithmetic, so enabling it never changes a run
+// (TestTelemetryInert covers the journal alongside the metrics sink).
+//
+// Sharding: sequence numbers are assigned from one atomic counter and events
+// land in shard (seq % shards), slot ((seq / shards) % slotsPerShard). Because
+// seqs are dense, the residue classes interleave exactly: keeping the newest
+// slotsPerShard events per shard keeps exactly the newest Cap events overall,
+// which is what the ring-eviction property test asserts.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event types recorded by the journal. The set mirrors the simulator's
+// degradation and execution machinery; new types may be added freely (the
+// journal is schemaless beyond the Event struct).
+const (
+	EvRound       = "round"           // round completed and aggregated
+	EvRoundSkip   = "round-skipped"   // round closed below quorum, model unchanged
+	EvQuarantine  = "quarantine"      // one update rejected by validation
+	EvDropout     = "dropout"         // one client vanished mid-round
+	EvAnchorAbort = "anchor-abort"    // a half-recorded anchor profile was discarded
+	EvImpairment  = "impairment"      // chaos installed a link impairment window
+	EvCellStart   = "cell-start"      // execpool began computing a cell
+	EvCellFinish  = "cell-finish"     // execpool finished computing a cell
+	EvCellHit     = "cell-cache-hit"  // execpool served a cell from cache
+	EvCapChange   = "cputok-cap"      // the CPU-token budget's capacity changed
+	EvPhaseStart  = "soak-phase-start"
+	EvPhaseEnd    = "soak-phase-end"
+	EvViolation   = "soak-violation" // an invariant monitor fired
+)
+
+// Event is one journal entry. Seq is unique and strictly increasing in
+// recording order; Client is -1 for server- or process-level events; VTime is
+// the virtual sim time the event belongs to (0 when not applicable).
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	Type   string  `json:"type"`
+	Round  int     `json:"round"`
+	Client int     `json:"client"`
+	VTime  float64 `json:"vtime"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// journalShards fixes the shard count. Eight keeps contention negligible for
+// worker-side emitters (impairment windows, cell events) without bloating
+// small journals.
+const journalShards = 8
+
+type journalShard struct {
+	mu   sync.Mutex
+	ring []Event // len == slots; Seq 0 marks a never-written slot
+}
+
+// Journal is the flight recorder. Build with NewJournal; a nil *Journal is
+// the disabled state (all methods are nil-safe no-ops). Recording is safe
+// from any goroutine.
+type Journal struct {
+	seq   atomic.Uint64
+	slots int // per shard
+	shard [journalShards]journalShard
+
+	clients ClientTable
+}
+
+// NewJournal builds a journal holding the newest capacity events (rounded up
+// to a multiple of the shard count; Cap reports the effective value).
+// capacity <= 0 selects the default of 4096.
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	slots := (capacity + journalShards - 1) / journalShards
+	j := &Journal{slots: slots}
+	for i := range j.shard {
+		j.shard[i].ring = make([]Event, slots)
+	}
+	j.clients.init()
+	return j
+}
+
+// Enabled reports whether the journal records anything.
+func (j *Journal) Enabled() bool { return j != nil }
+
+// Cap returns the journal's effective event capacity (0 when disabled).
+func (j *Journal) Cap() int {
+	if j == nil {
+		return 0
+	}
+	return j.slots * journalShards
+}
+
+// LastSeq returns the sequence number of the most recent event (0 when empty
+// or disabled).
+func (j *Journal) LastSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq.Load()
+}
+
+// Clients returns the journal's per-client attribution table (nil when the
+// journal is disabled).
+func (j *Journal) Clients() *ClientTable {
+	if j == nil {
+		return nil
+	}
+	return &j.clients
+}
+
+// record assigns the next sequence number and stores the event in its ring
+// slot, evicting the oldest event of the slot's residue class.
+func (j *Journal) record(e Event) {
+	seq := j.seq.Add(1)
+	e.Seq = seq
+	s := &j.shard[seq%journalShards]
+	s.mu.Lock()
+	s.ring[(seq/journalShards)%uint64(j.slots)] = e
+	s.mu.Unlock()
+}
+
+// Since returns every retained event with Seq > seq, in ascending sequence
+// order. Since(0) returns the whole retained window.
+func (j *Journal) Since(seq uint64) []Event {
+	if j == nil {
+		return nil
+	}
+	var out []Event
+	for i := range j.shard {
+		s := &j.shard[i]
+		s.mu.Lock()
+		for _, e := range s.ring {
+			if e.Seq > seq {
+				out = append(out, e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Tail returns the newest n retained events in ascending sequence order.
+func (j *Journal) Tail(n int) []Event {
+	if j == nil || n <= 0 {
+		return nil
+	}
+	all := j.Since(0)
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// RoundDone records one completed round (skipped or aggregated) plus one
+// event per quarantined update and per dropped client observed that round via
+// the dedicated helpers; callers emit those separately so each carries its
+// client ID.
+func (j *Journal) RoundDone(round int, vtime float64, collected, quarantined, dropped int, skipped bool) {
+	if j == nil {
+		return
+	}
+	typ := EvRound
+	if skipped {
+		typ = EvRoundSkip
+	}
+	j.record(Event{
+		Type: typ, Round: round, Client: -1, VTime: vtime,
+		Detail: fmt.Sprintf("collected=%d quarantined=%d dropped=%d", collected, quarantined, dropped),
+	})
+}
+
+// Quarantine records one update rejected by server-side validation.
+func (j *Journal) Quarantine(round, client int, vtime float64) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvQuarantine, Round: round, Client: client, VTime: vtime})
+}
+
+// Dropout records one client vanishing mid-round after iter iterations.
+func (j *Journal) Dropout(round, client, iter int, vtime float64) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvDropout, Round: round, Client: client, VTime: vtime,
+		Detail: fmt.Sprintf("after %d iterations", iter)})
+}
+
+// AnchorAbort records a half-recorded anchor profile being discarded because
+// its client dropped.
+func (j *Journal) AnchorAbort(round, client, iter int) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvAnchorAbort, Round: round, Client: client,
+		Detail: fmt.Sprintf("after %d iterations", iter)})
+}
+
+// Impairment records a chaos link-impairment window installed on a client's
+// link ("up" or "down"); scale 0 is a full outage.
+func (j *Journal) Impairment(round, client int, dir string, from, to, scale float64) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvImpairment, Round: round, Client: client, VTime: from,
+		Detail: fmt.Sprintf("%slink %.3g-%.3gs scale %.3g", dir, from, to, scale)})
+}
+
+// CellStart records an execpool cell beginning to compute.
+func (j *Journal) CellStart(kind, fingerprint string) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvCellStart, Round: -1, Client: -1, Detail: cellDetail(kind, fingerprint)})
+}
+
+// CellFinish records an execpool cell finishing its computation.
+func (j *Journal) CellFinish(kind, fingerprint string) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvCellFinish, Round: -1, Client: -1, Detail: cellDetail(kind, fingerprint)})
+}
+
+// CellHit records an execpool cell served from cache (tier "memory" or
+// "disk").
+func (j *Journal) CellHit(kind, fingerprint, tier string) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvCellHit, Round: -1, Client: -1,
+		Detail: cellDetail(kind, fingerprint) + " tier=" + tier})
+}
+
+func cellDetail(kind, fingerprint string) string {
+	if len(fingerprint) > 16 {
+		fingerprint = fingerprint[:16]
+	}
+	return kind + " " + fingerprint
+}
+
+// CapChange records the process-wide CPU-token budget's capacity changing
+// (0 means "track GOMAXPROCS"). Install via cputok.Default().SetCapHook.
+func (j *Journal) CapChange(oldCap, newCap int) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvCapChange, Round: -1, Client: -1,
+		Detail: fmt.Sprintf("cap %d -> %d", oldCap, newCap)})
+}
+
+// PhaseStart records a soak phase beginning.
+func (j *Journal) PhaseStart(index int, name, spec string) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvPhaseStart, Round: -1, Client: -1,
+		Detail: fmt.Sprintf("phase %d (%s) %s", index, name, spec)})
+}
+
+// PhaseEnd records a soak phase completing with its behavioural fingerprint.
+func (j *Journal) PhaseEnd(index int, name, fingerprint string) {
+	if j == nil {
+		return
+	}
+	if len(fingerprint) > 16 {
+		fingerprint = fingerprint[:16]
+	}
+	j.record(Event{Type: EvPhaseEnd, Round: -1, Client: -1,
+		Detail: fmt.Sprintf("phase %d (%s) fingerprint %s", index, name, fingerprint)})
+}
+
+// Violation records an invariant monitor firing.
+func (j *Journal) Violation(monitor, phase string, round int, detail string) {
+	if j == nil {
+		return
+	}
+	j.record(Event{Type: EvViolation, Round: round, Client: -1,
+		Detail: fmt.Sprintf("[%s] %s: %s", monitor, phase, detail)})
+}
+
+// ObserveUpdate feeds one client-round outcome into the attribution table.
+// The fl runner calls it serially after each round for every participant.
+func (j *Journal) ObserveUpdate(client, iterations int, computeSec, uplinkBytes float64, linkRetries int, dropped, quarantined bool) {
+	if j == nil {
+		return
+	}
+	j.clients.observe(client, iterations, computeSec, uplinkBytes, linkRetries, dropped, quarantined)
+}
+
+// ClientStats is one client's accumulated cost attribution: how much it
+// computed, shipped, retried and failed over the run. The per-client view is
+// the diagnostic signal fleet-wide counters aggregate away — which clients
+// skew, retry and drop.
+type ClientStats struct {
+	Client      int     `json:"client"`
+	Rounds      int     `json:"rounds"` // client-rounds participated
+	Iterations  int64   `json:"iterations"`
+	ComputeSec  float64 `json:"compute_seconds"` // virtual local-training seconds
+	UplinkBytes float64 `json:"uplink_bytes"`
+	LinkRetries int64   `json:"link_retries"`
+	Dropouts    int64   `json:"dropouts"`
+	Quarantines int64   `json:"quarantines"`
+}
+
+// clientTableBound caps how many distinct clients the attribution table
+// tracks. Beyond it, new client IDs are counted in Untracked instead of
+// growing the map — the table's memory is bounded regardless of fleet size.
+const clientTableBound = 4096
+
+// ClientTable is the journal's bounded per-client attribution map. Safe for
+// concurrent use; a nil *ClientTable is the disabled state.
+type ClientTable struct {
+	mu        sync.Mutex
+	m         map[int]*ClientStats
+	untracked int64
+}
+
+func (t *ClientTable) init() { t.m = make(map[int]*ClientStats) }
+
+func (t *ClientTable) observe(client, iterations int, computeSec, uplinkBytes float64, linkRetries int, dropped, quarantined bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[client]
+	if !ok {
+		if len(t.m) >= clientTableBound {
+			t.untracked++
+			return
+		}
+		s = &ClientStats{Client: client}
+		t.m[client] = s
+	}
+	s.Rounds++
+	s.Iterations += int64(iterations)
+	s.ComputeSec += computeSec
+	s.UplinkBytes += uplinkBytes
+	s.LinkRetries += int64(linkRetries)
+	if dropped {
+		s.Dropouts++
+	}
+	if quarantined {
+		s.Quarantines++
+	}
+}
+
+// Untracked returns how many client-round observations were discarded because
+// the table had reached its client bound.
+func (t *ClientTable) Untracked() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.untracked
+}
+
+// Len returns the number of clients tracked.
+func (t *ClientTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// clientSortKeys maps the /clients "sort" parameter to a stat extractor.
+var clientSortKeys = map[string]func(*ClientStats) float64{
+	"compute":     func(s *ClientStats) float64 { return s.ComputeSec },
+	"iterations":  func(s *ClientStats) float64 { return float64(s.Iterations) },
+	"bytes":       func(s *ClientStats) float64 { return s.UplinkBytes },
+	"retries":     func(s *ClientStats) float64 { return float64(s.LinkRetries) },
+	"dropouts":    func(s *ClientStats) float64 { return float64(s.Dropouts) },
+	"quarantines": func(s *ClientStats) float64 { return float64(s.Quarantines) },
+}
+
+// TopK returns the k costliest clients under the named sort key ("compute",
+// "iterations", "bytes", "retries", "dropouts", "quarantines"; anything else
+// falls back to "compute"), descending, ties broken by ascending client ID so
+// the extraction is deterministic. k <= 0 returns every tracked client.
+func (t *ClientTable) TopK(k int, by string) []ClientStats {
+	if t == nil {
+		return nil
+	}
+	key, ok := clientSortKeys[by]
+	if !ok {
+		key = clientSortKeys["compute"]
+	}
+	t.mu.Lock()
+	out := make([]ClientStats, 0, len(t.m))
+	for _, s := range t.m {
+		out = append(out, *s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		ka, kb := key(&out[a]), key(&out[b])
+		if ka != kb {
+			return ka > kb
+		}
+		return out[a].Client < out[b].Client
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalSequenceAndEviction is the journal's property test: sequence
+// numbers strictly increase in recording order, and once the ring overflows,
+// retention keeps exactly the newest Cap events — no more, no fewer, no gaps.
+func TestJournalSequenceAndEviction(t *testing.T) {
+	for _, total := range []int{1, 7, 31, 32, 33, 100, 1000} {
+		j := NewJournal(32)
+		if j.Cap() != 32 {
+			t.Fatalf("Cap = %d, want 32", j.Cap())
+		}
+		for i := 0; i < total; i++ {
+			j.RoundDone(i, float64(i), 4, 0, 0, false)
+		}
+		if got := j.LastSeq(); got != uint64(total) {
+			t.Fatalf("LastSeq = %d after %d events", got, total)
+		}
+		events := j.Since(0)
+		want := total
+		if want > j.Cap() {
+			want = j.Cap()
+		}
+		if len(events) != want {
+			t.Fatalf("total=%d: retained %d events, want %d", total, len(events), want)
+		}
+		// Exactly the newest window, strictly ascending and dense.
+		wantFirst := uint64(total - want + 1)
+		for i, e := range events {
+			if e.Seq != wantFirst+uint64(i) {
+				t.Fatalf("total=%d: event %d has seq %d, want %d (retention must keep exactly the newest %d)",
+					total, i, e.Seq, wantFirst+uint64(i), want)
+			}
+		}
+	}
+}
+
+// TestJournalCapacityRounding documents the shard rounding: capacity rounds
+// up to a multiple of the shard count, and <= 0 selects the default.
+func TestJournalCapacityRounding(t *testing.T) {
+	if c := NewJournal(0).Cap(); c != 4096 {
+		t.Fatalf("default Cap = %d, want 4096", c)
+	}
+	if c := NewJournal(1).Cap(); c%8 != 0 || c < 1 {
+		t.Fatalf("Cap(1) = %d, want a positive multiple of the shard count", c)
+	}
+	if c := NewJournal(100).Cap(); c != 104 {
+		t.Fatalf("Cap(100) = %d, want 104 (13 slots x 8 shards)", c)
+	}
+}
+
+// TestJournalConcurrentRecording hammers the journal from many goroutines
+// (meaningful under -race) and checks the retained window is still dense and
+// strictly ascending afterwards.
+func TestJournalConcurrentRecording(t *testing.T) {
+	j := NewJournal(64)
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Impairment(i, g, "up", 0, 1, 0.5)
+				j.ObserveUpdate(g, 10, 1, 100, 0, false, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := j.LastSeq(); got != goroutines*each {
+		t.Fatalf("LastSeq = %d, want %d", got, goroutines*each)
+	}
+	events := j.Since(0)
+	if len(events) != j.Cap() {
+		t.Fatalf("retained %d, want full ring %d", len(events), j.Cap())
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("retained window not dense at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestJournalSinceAndTail covers the two query cursors.
+func TestJournalSinceAndTail(t *testing.T) {
+	j := NewJournal(32)
+	for i := 0; i < 10; i++ {
+		j.Quarantine(i, i, float64(i))
+	}
+	since := j.Since(7)
+	if len(since) != 3 || since[0].Seq != 8 {
+		t.Fatalf("Since(7) = %+v, want seqs 8..10", since)
+	}
+	tail := j.Tail(4)
+	if len(tail) != 4 || tail[0].Seq != 7 || tail[3].Seq != 10 {
+		t.Fatalf("Tail(4) = %+v, want seqs 7..10", tail)
+	}
+	if got := j.Tail(100); len(got) != 10 {
+		t.Fatalf("Tail(100) = %d events, want all 10", len(got))
+	}
+	if j.Tail(0) != nil {
+		t.Fatal("Tail(0) must be nil")
+	}
+}
+
+// TestClientTableAttribution checks accumulation, deterministic TopK ordering
+// and the bounded-map overflow counter.
+func TestClientTableAttribution(t *testing.T) {
+	j := NewJournal(8)
+	// Client 1: two rounds, one dropout; client 2: one heavy round.
+	j.ObserveUpdate(1, 40, 4.0, 1000, 2, false, false)
+	j.ObserveUpdate(1, 10, 1.0, 200, 0, true, false)
+	j.ObserveUpdate(2, 50, 9.0, 5000, 0, false, true)
+	tbl := j.Clients()
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	top := tbl.TopK(0, "compute")
+	if len(top) != 2 || top[0].Client != 2 || top[1].Client != 1 {
+		t.Fatalf("TopK(compute) order = %+v", top)
+	}
+	c1 := top[1]
+	if c1.Rounds != 2 || c1.Iterations != 50 || c1.ComputeSec != 5.0 ||
+		c1.UplinkBytes != 1200 || c1.LinkRetries != 2 || c1.Dropouts != 1 || c1.Quarantines != 0 {
+		t.Fatalf("client 1 stats = %+v", c1)
+	}
+	if top[0].Quarantines != 1 {
+		t.Fatalf("client 2 quarantines = %d, want 1", top[0].Quarantines)
+	}
+	if k := tbl.TopK(1, "retries"); len(k) != 1 || k[0].Client != 1 {
+		t.Fatalf("TopK(1, retries) = %+v, want client 1", k)
+	}
+	// Ties break by ascending client ID, unknown keys fall back to compute.
+	j2 := NewJournal(8)
+	j2.ObserveUpdate(5, 1, 1, 1, 0, false, false)
+	j2.ObserveUpdate(3, 1, 1, 1, 0, false, false)
+	tied := j2.Clients().TopK(0, "nonsense-key")
+	if tied[0].Client != 3 || tied[1].Client != 5 {
+		t.Fatalf("tie break not by client ID: %+v", tied)
+	}
+}
+
+// TestClientTableBound verifies the attribution map never grows past its
+// bound: overflow observations land in Untracked instead.
+func TestClientTableBound(t *testing.T) {
+	j := NewJournal(8)
+	for c := 0; c < clientTableBound+100; c++ {
+		j.ObserveUpdate(c, 1, 1, 1, 0, false, false)
+	}
+	tbl := j.Clients()
+	if tbl.Len() != clientTableBound {
+		t.Fatalf("Len = %d, want bound %d", tbl.Len(), clientTableBound)
+	}
+	if tbl.Untracked() != 100 {
+		t.Fatalf("Untracked = %d, want 100", tbl.Untracked())
+	}
+	// Known clients keep accumulating after the bound is hit.
+	j.ObserveUpdate(0, 1, 1, 1, 0, false, false)
+	if got := tbl.TopK(1, "iterations"); got[0].Client != 0 || got[0].Iterations != 2 {
+		t.Fatalf("post-bound accumulation broken: %+v", got[0])
+	}
+}
+
+// TestJournalEventTypes spot-checks each emitter's rendered event.
+func TestJournalEventTypes(t *testing.T) {
+	j := NewJournal(64)
+	j.RoundDone(1, 10, 8, 1, 2, false)
+	j.RoundDone(2, 20, 0, 0, 9, true)
+	j.Quarantine(1, 4, 9.5)
+	j.Dropout(1, 5, 17, 8.0)
+	j.AnchorAbort(1, 5, 17)
+	j.Impairment(1, 3, "down", 1, 2, 0)
+	j.CellStart("soak-phase", "deadbeefdeadbeefdeadbeef")
+	j.CellFinish("soak-phase", "deadbeefdeadbeefdeadbeef")
+	j.CellHit("soak-phase", "deadbeefdeadbeefdeadbeef", "disk")
+	j.CapChange(0, 1)
+	j.PhaseStart(2, "storm", "storm:rounds=50")
+	j.PhaseEnd(2, "storm", "0123456789abcdef0123")
+	j.Violation("heap", "storm", 150, "slope too steep")
+	events := j.Since(0)
+	wantTypes := []string{
+		EvRound, EvRoundSkip, EvQuarantine, EvDropout, EvAnchorAbort,
+		EvImpairment, EvCellStart, EvCellFinish, EvCellHit, EvCapChange,
+		EvPhaseStart, EvPhaseEnd, EvViolation,
+	}
+	if len(events) != len(wantTypes) {
+		t.Fatalf("got %d events, want %d", len(events), len(wantTypes))
+	}
+	for i, e := range events {
+		if e.Type != wantTypes[i] {
+			t.Fatalf("event %d type = %q, want %q", i, e.Type, wantTypes[i])
+		}
+	}
+	checks := map[string]string{
+		EvRound:      "collected=8 quarantined=1 dropped=2",
+		EvDropout:    "after 17 iterations",
+		EvCellHit:    "tier=disk",
+		EvCapChange:  "cap 0 -> 1",
+		EvPhaseStart: "phase 2 (storm)",
+		EvViolation:  "[heap] storm: slope too steep",
+	}
+	for _, e := range events {
+		if want, ok := checks[e.Type]; ok {
+			if !strings.Contains(e.Detail, want) {
+				t.Fatalf("%s detail = %q, want substring %q", e.Type, e.Detail, want)
+			}
+		}
+	}
+	// Long fingerprints are truncated so details stay bounded.
+	for _, e := range events {
+		if e.Type == EvCellStart && len(e.Detail) > len("soak-phase ")+16 {
+			t.Fatalf("cell detail not truncated: %q", e.Detail)
+		}
+	}
+}
+
+// TestNilJournalSafe proves the disabled journal is inert end to end.
+func TestNilJournalSafe(t *testing.T) {
+	var j *Journal
+	j.RoundDone(0, 0, 0, 0, 0, false)
+	j.ObserveUpdate(1, 1, 1, 1, 0, false, false)
+	if j.Enabled() || j.Cap() != 0 || j.LastSeq() != 0 || j.Since(0) != nil || j.Tail(5) != nil || j.Clients() != nil {
+		t.Fatal("nil journal must be inert")
+	}
+	var tbl *ClientTable
+	if tbl.Len() != 0 || tbl.Untracked() != 0 || tbl.TopK(3, "compute") != nil {
+		t.Fatal("nil client table must be inert")
+	}
+}
+
+// TestJournalEventFields pins the per-event fields /events and -events emit.
+func TestJournalEventFields(t *testing.T) {
+	j := NewJournal(8)
+	j.Dropout(3, 5, 17, 12.5)
+	ev := j.Since(0)[0]
+	if ev.Seq != 1 || ev.Type != EvDropout || ev.Round != 3 || ev.Client != 5 || ev.VTime != 12.5 {
+		t.Fatalf("event fields = %+v", ev)
+	}
+}

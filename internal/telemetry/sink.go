@@ -41,6 +41,15 @@ type Sink struct {
 	ClientIters     *Histogram
 
 	up, down LinkObserver
+
+	// Runtime-health bridge (fedca_runtime_* gauges, refreshed on scrape).
+	health *RuntimeHealth
+
+	// The budget gauge this sink attached to cputok.Default(), and the gauge
+	// that was attached before it — Close restores the predecessor.
+	cputokGauge cputok.Gauge
+	cputokPrev  cputok.Gauge
+	closed      bool
 }
 
 // New builds an enabled sink with the simulator's metric set registered.
@@ -77,13 +86,38 @@ func New() *Sink {
 		ClientIters:     reg.Histogram("fedca_client_round_iterations", "Local iterations completed per client-round.", ExpBuckets(1, 2, 10)),
 	}
 	// Mirror the process-wide CPU-token budget into this run's registry. The
-	// budget is a singleton, so when several sinks coexist the most recently
-	// constructed one observes it — acceptable for a diagnostic gauge.
-	cputok.Default().SetGauge(reg.Gauge("fedca_cputok_inflight", "CPU tokens currently held process-wide (admitted cells plus borrowed nested workers)."))
+	// budget is a singleton, so the most recently constructed sink observes
+	// it — but only until that sink is Closed, which restores whatever gauge
+	// was attached before. Short-lived sinks (a soak determinism recheck, a
+	// per-phase federation) therefore hand the budget back instead of leaving
+	// it writing into a discarded registry.
+	s.cputokGauge = reg.Gauge("fedca_cputok_inflight", "CPU tokens currently held process-wide (admitted cells plus borrowed nested workers).")
+	s.cputokPrev = cputok.Default().SwapGauge(s.cputokGauge)
+	s.health = NewRuntimeHealth(reg)
 	s.up = LinkObserver{bytes: s.UplinkBytes, transfers: s.LinkTransfers, retries: s.LinkRetries, impair: s.Impairments, airtime: s.TransferSeconds}
 	s.down = LinkObserver{bytes: s.DownlinkBytes, transfers: s.LinkTransfers, retries: s.LinkRetries, impair: s.Impairments, airtime: s.TransferSeconds}
 	s.tracer.NameTrack(ServerTrack, "server")
 	return s
+}
+
+// Close detaches the sink from process-wide state: the cputok budget gauge is
+// released back to whichever gauge was attached when this sink was built (a
+// no-op if a later sink has already taken over). The sink's own registry and
+// tracer remain readable. Safe on nil and idempotent.
+func (s *Sink) Close() {
+	if s == nil || s.closed {
+		return
+	}
+	s.closed = true
+	cputok.Default().ReleaseGauge(s.cputokGauge, s.cputokPrev)
+}
+
+// Health returns the sink's runtime-health bridge (nil when disabled).
+func (s *Sink) Health() *RuntimeHealth {
+	if s == nil {
+		return nil
+	}
+	return s.health
 }
 
 // Registry returns the sink's metrics registry (nil when disabled).

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"testing"
+
+	"fedca/internal/cputok"
+)
+
+// TestSinkCloseRestoresCputokGauge is the regression test for the stale
+// cputok gauge: New repoints the process-wide budget's inflight gauge, and
+// Close must hand it back to the predecessor so a short-lived sink (a soak
+// determinism recheck, a per-phase federation) doesn't leave the budget
+// writing into a discarded registry while the long-lived sink reads zeros.
+func TestSinkCloseRestoresCputokGauge(t *testing.T) {
+	b := cputok.Default()
+	orig := b.SwapGauge(nil)
+	defer b.SwapGauge(orig)
+
+	phase1 := New()
+	defer phase1.Close()
+	g1 := phase1.cputokGauge.(*Gauge)
+
+	// A later phase's sink takes the budget over; traffic lands only there.
+	phase2 := New()
+	g2 := phase2.cputokGauge.(*Gauge)
+	if b.Borrow(1) != 1 {
+		t.Fatal("default budget exhausted; cannot drive gauge traffic")
+	}
+	if g2.Value() != 1 || g1.Value() != 0 {
+		t.Fatalf("live gauge = %v, displaced gauge = %v; want 1, 0", g2.Value(), g1.Value())
+	}
+	// Close hands the budget back, re-synced to the current in-flight count.
+	phase2.Close()
+	if g1.Value() != 1 {
+		t.Fatalf("after phase2.Close the restored gauge reads %v, want 1", g1.Value())
+	}
+	b.Return(1)
+	if g1.Value() != 0 || g2.Value() != 1 {
+		t.Fatalf("post-drain gauges = %v, %v; the closed sink must stop updating", g1.Value(), g2.Value())
+	}
+	// Close is idempotent: a second call must not re-release.
+	phase2.Close()
+	if b.Borrow(1) != 1 {
+		t.Fatal("default budget exhausted")
+	}
+	if g1.Value() != 1 {
+		t.Fatalf("after idempotent re-close the live gauge reads %v, want 1", g1.Value())
+	}
+	b.Return(1)
+}
+
+// TestSinkCloseOutOfOrder: closing an older sink while a newer one is
+// attached must be a no-op — the latest sink keeps observing the budget.
+func TestSinkCloseOutOfOrder(t *testing.T) {
+	b := cputok.Default()
+	orig := b.SwapGauge(nil)
+	defer b.SwapGauge(orig)
+
+	s1 := New()
+	s2 := New()
+	g1 := s1.cputokGauge.(*Gauge)
+	g2 := s2.cputokGauge.(*Gauge)
+	s1.Close()
+	if b.Borrow(1) != 1 {
+		t.Fatal("default budget exhausted")
+	}
+	if g2.Value() != 1 || g1.Value() != 0 {
+		t.Fatalf("gauges after out-of-order close = %v, %v; latest sink must win", g2.Value(), g1.Value())
+	}
+	b.Return(1)
+	s2.Close()
+}

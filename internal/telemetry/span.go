@@ -15,11 +15,11 @@ const ServerTrack = 0
 // ClientTrack returns the trace thread id of a client.
 func ClientTrack(clientID int) int { return clientID + 1 }
 
-// Event is one Chrome trace event. Timestamps are in microseconds of virtual
+// TraceEvent is one Chrome trace event. Timestamps are in microseconds of virtual
 // sim time ("X" = complete span with a duration, "i" = instant, "M" =
 // metadata). See the Trace Event Format spec; Perfetto and chrome://tracing
 // both load the JSON object form.
-type Event struct {
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
@@ -37,7 +37,7 @@ type Event struct {
 // equal trace files regardless of goroutine interleaving.
 type Tracer struct {
 	mu     sync.Mutex
-	events []Event
+	events []TraceEvent
 	names  map[int]string // track id → thread name metadata
 }
 
@@ -66,7 +66,7 @@ func (t *Tracer) Span(tid int, name, cat string, start, end float64, args map[st
 		end = start
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{
+	t.events = append(t.events, TraceEvent{
 		Name: name, Cat: cat, Ph: "X",
 		TS: start * 1e6, Dur: (end - start) * 1e6,
 		TID: tid, Args: args,
@@ -80,7 +80,7 @@ func (t *Tracer) Instant(tid int, name, cat string, ts float64, args map[string]
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{
+	t.events = append(t.events, TraceEvent{
 		Name: name, Cat: cat, Ph: "i", TS: ts * 1e6,
 		TID: tid, S: "t", Args: args,
 	})
@@ -99,12 +99,12 @@ func (t *Tracer) Len() int {
 
 // Events returns a deterministically ordered copy of the recorded events,
 // thread-name metadata first.
-func (t *Tracer) Events() []Event {
+func (t *Tracer) Events() []TraceEvent {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	events := append([]Event(nil), t.events...)
+	events := append([]TraceEvent(nil), t.events...)
 	names := make(map[int]string, len(t.names))
 	for k, v := range t.names {
 		names[k] = v
@@ -130,9 +130,9 @@ func (t *Tracer) Events() []Event {
 		tids = append(tids, tid)
 	}
 	sort.Ints(tids)
-	meta := make([]Event, 0, len(tids))
+	meta := make([]TraceEvent, 0, len(tids))
 	for _, tid := range tids {
-		meta = append(meta, Event{
+		meta = append(meta, TraceEvent{
 			Name: "thread_name", Ph: "M", TID: tid,
 			Args: map[string]any{"name": names[tid]},
 		})
@@ -142,7 +142,7 @@ func (t *Tracer) Events() []Event {
 
 // chromeTrace is the JSON object form of the trace file.
 type chromeTrace struct {
-	TraceEvents     []Event `json:"traceEvents"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string  `json:"displayTimeUnit"`
 }
 
@@ -151,7 +151,7 @@ type chromeTrace struct {
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
 	if events == nil {
-		events = []Event{}
+		events = []TraceEvent{}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {

@@ -44,10 +44,10 @@ func TestTracerNegativeDurationClamped(t *testing.T) {
 // validateChromeTrace decodes Chrome trace-event JSON and checks the
 // structural invariants trace viewers rely on. Shared with the end-to-end
 // tests via export in export_test.go.
-func validateChromeTrace(t *testing.T, data []byte) []Event {
+func validateChromeTrace(t *testing.T, data []byte) []TraceEvent {
 	t.Helper()
 	var tr struct {
-		TraceEvents     []Event `json:"traceEvents"`
+		TraceEvents     []TraceEvent `json:"traceEvents"`
 		DisplayTimeUnit string  `json:"displayTimeUnit"`
 	}
 	if err := json.Unmarshal(data, &tr); err != nil {
