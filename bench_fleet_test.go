@@ -1,0 +1,141 @@
+// Virtual-fleet benchmark (DESIGN.md §14): one federation over a lazily
+// materialized fleet, measuring cohort throughput (clients/sec), upload
+// volume per round and peak live heap. The point of the report is the
+// O(cohort) memory claim: peak heap must track the cohort size, not the
+// fleet size — CI's fleet-smoke job asserts exactly that from
+// BENCH_fleet.json (override the path with FEDCA_BENCH_FLEET_JSON, the
+// population with FEDCA_BENCH_FLEET_SIZE / FEDCA_BENCH_FLEET_PARTICIPATION).
+//
+//	go test -bench BenchmarkFleet -benchtime=5x .
+package fedca_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"fedca/internal/baseline"
+	"fedca/internal/expcfg"
+	"fedca/internal/trace"
+)
+
+func benchEnvInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func benchEnvFloat(name string, def float64) float64 {
+	if v := os.Getenv(name); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return def
+}
+
+// BenchmarkFleet runs b.N rounds of a virtual-fleet federation: 100k
+// clients at 1% participation by default (1000-client cohorts), the CNN
+// workload shrunk to a few iterations per client-round, full aggregation so
+// the online streaming fold carries the reduce.
+func BenchmarkFleet(b *testing.B) {
+	fleetSize := benchEnvInt("FEDCA_BENCH_FLEET_SIZE", 100_000)
+	participation := benchEnvFloat("FEDCA_BENCH_FLEET_PARTICIPATION", 0.01)
+
+	w := expcfg.CNN().Shrink(3, 2000, 400, 10)
+	w.FL.AggregateFraction = 1
+	w.FL.Participation = participation
+	tb, err := expcfg.BuildFleet(w, fleetSize, 0, trace.PaperConfig(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := runner.Global().NumParams()
+
+	var peakHeap uint64
+	var upBytes float64
+	sampleHeap := func() {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peakHeap {
+			peakHeap = ms.HeapAlloc
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runner.RunRound()
+		for _, u := range res.Collected {
+			upBytes += u.UploadBytes
+		}
+		for _, u := range res.Discarded {
+			upBytes += u.UploadBytes
+		}
+		sampleHeap()
+	}
+	b.StopTimer()
+
+	st := runner.Stats()
+	elapsed := b.Elapsed().Seconds()
+	cohort := st.CohortClients / st.Rounds
+	built, recycled := tb.Fleet.SlotStats()
+	doc := struct {
+		Bench         string  `json:"bench"`
+		Fleet         int     `json:"fleet"`
+		Participation float64 `json:"participation"`
+		Cohort        int     `json:"cohort"`
+		Rounds        int     `json:"rounds"`
+		Params        int     `json:"params"`
+		ClientsPerSec float64 `json:"clients_per_sec"`
+		BytesPerRound float64 `json:"bytes_per_round"`
+		PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+		SlotsBuilt    int64   `json:"slots_built"`
+		Recycled      int64   `json:"recycled"`
+		SecPerRound   float64 `json:"sec_per_round"`
+		CPUs          int     `json:"cpus"`
+		GOMAXPROCS    int     `json:"gomaxprocs"`
+	}{
+		Bench:         "fleet",
+		Fleet:         fleetSize,
+		Participation: participation,
+		Cohort:        cohort,
+		Rounds:        st.Rounds,
+		Params:        params,
+		PeakHeapBytes: peakHeap,
+		SlotsBuilt:    built,
+		Recycled:      recycled,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	if elapsed > 0 {
+		doc.ClientsPerSec = float64(st.CohortClients) / elapsed
+		b.ReportMetric(doc.ClientsPerSec, "clients/sec")
+	}
+	if st.Rounds > 0 {
+		doc.BytesPerRound = upBytes / float64(st.Rounds)
+		doc.SecPerRound = elapsed / float64(st.Rounds)
+	}
+	b.ReportMetric(float64(peakHeap), "peak-heap-bytes")
+
+	path := os.Getenv("FEDCA_BENCH_FLEET_JSON")
+	if path == "" {
+		path = "BENCH_fleet.json"
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", path)
+}

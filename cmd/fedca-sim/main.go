@@ -41,6 +41,9 @@ func main() {
 	scheme := flag.String("scheme", "fedca", "scheme: fedavg | fedprox | fedada | fedca | fedca-v1 | fedca-v2 | oort | safa")
 	scaleName := flag.String("scale", "small", "experiment scale: tiny | small | full")
 	clients := flag.Int("clients", 0, "override client count")
+	fleet := flag.Int("fleet", 0, "virtualize the population at this size: only each round's cohort is materialized (O(cohort) memory), client state derives from (seed, id)")
+	participation := flag.Float64("participation", 0, "fraction of the virtual fleet sampled into each round's cohort (requires -fleet; 0 or 1 = everyone)")
+	aggFrac := flag.Float64("aggfrac", 0, "override the workload's partial-aggregation cut in (0,1]; 1.0 enables the streaming online fold")
 	rounds := flag.Int("rounds", 0, "override round count")
 	seed := flag.Uint64("seed", 42, "master seed")
 	compressSpec := flag.String("compress", "none", "upload compressor: none | qsgd<levels> | topk<percent>")
@@ -110,6 +113,13 @@ func main() {
 	}
 	w.FL.MinQuorum = *minQuorum
 	w.FL.MaxDeltaNorm = *maxNorm
+	if *aggFrac > 0 {
+		w.FL.AggregateFraction = *aggFrac
+	}
+	if *participation > 0 && *fleet <= 0 {
+		fail(fmt.Errorf("-participation requires -fleet"))
+	}
+	w.FL.Participation = *participation
 
 	// Telemetry: one sink feeds both the HTTP surface and the trace export.
 	// It is deterministically inert, so attaching it never changes the run.
@@ -157,10 +167,23 @@ func main() {
 		fail(fmt.Errorf("unknown scheme %q", *scheme))
 	}
 
-	tb := expcfg.Build(w, scale.Clients, scale.TraceConfig(), *seed)
-	runner, err := tb.NewRunner(sch)
-	if err != nil {
-		fail(err)
+	var runner *fl.Runner
+	if *fleet > 0 {
+		ftb, err := expcfg.BuildFleet(w, *fleet, 0, scale.TraceConfig(), *seed)
+		if err != nil {
+			fail(err)
+		}
+		runner, err = ftb.NewRunner(sch)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("fleet: %d virtual clients, participation=%g (cohort ≈ %d), lazy cohort materialization\n",
+			*fleet, *participation, cohortOf(*fleet, *participation))
+	} else {
+		runner, err = expcfg.Build(w, scale.Clients, scale.TraceConfig(), *seed).NewRunner(sch)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if *httpAddr != "" {
 		mux := telemetry.NewMux(sink, journal, statusFunc(runner, fedca, sink))
@@ -202,8 +225,12 @@ func main() {
 			fail(err)
 		}
 	}
+	popClients := scale.Clients
+	if *fleet > 0 {
+		popClients = *fleet
+	}
 	fmt.Printf("model=%s scheme=%s clients=%d K=%d rounds=%d seed=%d compress=%s\n",
-		*model, *scheme, scale.Clients, w.FL.LocalIters, scale.Rounds, *seed, comp.Name())
+		*model, *scheme, popClients, w.FL.LocalIters, scale.Rounds, *seed, comp.Name())
 	fmt.Printf("%5s %12s %10s %8s %8s %7s %7s\n", "round", "vtime(s)", "dur(s)", "acc", "iters", "eager", "retr")
 	for i := 0; i < scale.Rounds; i++ {
 		r := runner.RunRound()
@@ -296,6 +323,18 @@ func writeEvents(w io.Writer, events []telemetry.Event, since uint64) uint64 {
 		since = e.Seq
 	}
 	return since
+}
+
+// cohortOf mirrors the runner's expected cohort size for the banner.
+func cohortOf(fleet int, participation float64) int {
+	if participation <= 0 || participation >= 1 {
+		return fleet
+	}
+	k := int(participation*float64(fleet) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 func fail(err error) {

@@ -67,8 +67,24 @@ func NewTelemetryMux(t *Telemetry, f *Federation) http.Handler {
 type Options struct {
 	// Model selects the workload: "cnn", "lstm" or "wrn".
 	Model string
-	// Clients is the number of simulated participants.
+	// Clients is the number of simulated participants, each fully
+	// materialized up front (the classic testbed). Ignored when Fleet is set.
 	Clients int
+	// Fleet, when positive, virtualizes the client population instead: only
+	// each round's cohort is materialized (into pooled slots recycled after
+	// the round), so memory scales with the cohort, not the fleet — a
+	// million-client federation is a few thousand live clients. Client
+	// identity derives from (Seed, clientID), so runs stay bit-reproducible.
+	Fleet int
+	// Participation is the fraction of the fleet sampled into each round's
+	// cohort (virtual fleets only; 0 or 1 = everyone). 1M clients at 0.01
+	// participation run 10k-client rounds.
+	Participation float64
+	// AggregateFraction overrides the workload's partial-aggregation cut
+	// (paper: 0.9) when in (0, 1]. At 1.0 the server aggregates every
+	// surviving update with a streaming online fold, the cheapest setting
+	// for very large cohorts.
+	AggregateFraction float64
 	// Scheme selects the federated optimization strategy: "fedavg",
 	// "fedprox", "fedada", "fedca", "fedca-v1", "fedca-v2", "oort", "safa".
 	Scheme string
@@ -186,7 +202,7 @@ func New(opts Options) (*Federation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Clients <= 0 {
+	if opts.Fleet <= 0 && opts.Clients <= 0 {
 		return nil, fmt.Errorf("fedca: Clients must be positive")
 	}
 	if opts.LocalIters > 0 {
@@ -221,6 +237,10 @@ func New(opts Options) (*Federation, error) {
 	}
 	w.FL.MinQuorum = opts.MinQuorum
 	w.FL.MaxDeltaNorm = opts.MaxDeltaNorm
+	if opts.AggregateFraction > 0 {
+		w.FL.AggregateFraction = opts.AggregateFraction
+	}
+	w.FL.Participation = opts.Participation
 	w.FL.Telemetry = opts.Telemetry
 	w.FL.Journal = opts.Journal
 	comp, err := compress.ByName(opts.Compress)
@@ -273,10 +293,23 @@ func New(opts Options) (*Federation, error) {
 		return nil, fmt.Errorf("fedca: unknown scheme %q", opts.Scheme)
 	}
 
-	tb := expcfg.Build(w, opts.Clients, tcfg, opts.Seed)
-	runner, err := tb.NewRunner(scheme)
-	if err != nil {
-		return nil, err
+	var runner *fl.Runner
+	if opts.Fleet > 0 {
+		tb, err := expcfg.BuildFleet(w, opts.Fleet, 0, tcfg, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		runner, err = tb.NewRunner(scheme)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tb := expcfg.Build(w, opts.Clients, tcfg, opts.Seed)
+		var err error
+		runner, err = tb.NewRunner(scheme)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Federation{opts: opts, runner: runner, fedca: fedcaScheme}, nil
 }

@@ -298,6 +298,7 @@ func ClassHistogram(labels []int, idx []int, classes int) []int {
 // pipeline of one FL client.
 type Loader struct {
 	ds        *Dataset
+	view      []int // when non-nil, the client's rows are ds rows view[i]
 	batchSize int
 	order     []int
 	cursor    int
@@ -321,8 +322,37 @@ func NewLoader(ds *Dataset, batchSize int, r *rng.RNG) *Loader {
 	return l
 }
 
+// NewViewLoader creates a loader over rows view of base without copying them
+// — the data pipeline of a lazily materialized virtual client, whose shard
+// is an index list into the shared base dataset (see LazyPartition). Same
+// contract as NewLoader: panics on an empty view or non-positive batch size.
+// The loader aliases view; callers recycling index buffers must not reuse
+// one while its loader is live.
+func NewViewLoader(base *Dataset, view []int, batchSize int, r *rng.RNG) *Loader {
+	if len(view) == 0 {
+		panic("data: NewViewLoader on empty view")
+	}
+	if batchSize <= 0 {
+		panic("data: batch size must be positive")
+	}
+	if batchSize > len(view) {
+		batchSize = len(view)
+	}
+	l := &Loader{ds: base, view: view, batchSize: batchSize, r: r}
+	l.reshuffle()
+	return l
+}
+
+// n returns the loader's sample count (the view's when one is set).
+func (l *Loader) n() int {
+	if l.view != nil {
+		return len(l.view)
+	}
+	return l.ds.N()
+}
+
 func (l *Loader) reshuffle() {
-	l.order = l.r.Perm(l.ds.N())
+	l.order = l.r.Perm(l.n())
 	l.cursor = 0
 }
 
@@ -340,6 +370,9 @@ func (l *Loader) Next() (*tensor.Tensor, []int) {
 	xd, sd := x.Data(), l.ds.X.Data()
 	for i := 0; i < l.batchSize; i++ {
 		j := l.order[l.cursor+i]
+		if l.view != nil {
+			j = l.view[j]
+		}
 		copy(xd[i*dim:(i+1)*dim], sd[j*dim:(j+1)*dim])
 		y[i] = l.ds.Y[j]
 	}
@@ -348,7 +381,7 @@ func (l *Loader) Next() (*tensor.Tensor, []int) {
 }
 
 // IterationsPerEpoch returns how many batches one pass over the data yields.
-func (l *Loader) IterationsPerEpoch() int { return l.ds.N() / l.batchSize }
+func (l *Loader) IterationsPerEpoch() int { return l.n() / l.batchSize }
 
 func max(a, b int) int {
 	if a > b {

@@ -1,0 +1,187 @@
+package expcfg
+
+// Virtual-fleet assembly: the million-client analogue of Build. Where Build
+// materializes every client up front (data shards, speed models, links —
+// O(fleet) memory), BuildFleet constructs only the shared ingredients (the
+// base datasets, a lazy partition, the master RNG) and derives each client
+// from (seed, clientID) when the runner materializes it into a pooled cohort
+// slot. Peak memory is O(cohort): a 1M-client run at 1% participation holds
+// ~10k live clients, never a million.
+
+import (
+	"fmt"
+
+	"fedca/internal/data"
+	"fedca/internal/fl"
+	"fedca/internal/nn"
+	"fedca/internal/rng"
+	"fedca/internal/simnet"
+	"fedca/internal/trace"
+)
+
+// fleetSlot is one pooled cohort slot: the client struct plus the buffers
+// that recycle with it. Links are built once per slot and reused across
+// occupants — runClientRound resets link state at round start, and the
+// runner's telemetry observers stay attached.
+type fleetSlot struct {
+	client fl.Client
+	view   []int
+}
+
+// VirtualFleet implements fl.Fleet, fl.CohortSampler and fl.FleetStats over
+// a seeded spec: client id i's data shard, speed model and chaos stream are
+// pure functions of (master seed, i), derived at materialization. Not safe
+// for concurrent use — Materialize/Recycle run on the serial server phase.
+type VirtualFleet struct {
+	part   *data.LazyPartition
+	train  *data.Dataset
+	tcfg   trace.Config
+	master *rng.RNG
+	batch  int
+
+	free []*fleetSlot
+	live map[*fl.Client]*fleetSlot
+	seen map[int]bool // SampleOrdinals scratch
+
+	// seq counts materializations; forked into the loader and chaos labels
+	// so a client re-selected in a later round draws fresh (but still
+	// seed-deterministic) shuffle and fault streams instead of replaying its
+	// first round's.
+	seq          uint64
+	slotsBuilt   int64
+	recycleCalls int64
+}
+
+// Size implements fl.Fleet.
+func (f *VirtualFleet) Size() int { return f.part.Clients() }
+
+// ClientID implements fl.Fleet: virtual fleets use the identity mapping.
+func (f *VirtualFleet) ClientID(i int) int { return i }
+
+// Materialize implements fl.Fleet: derive client id into a pooled slot.
+func (f *VirtualFleet) Materialize(id int) (*fl.Client, error) {
+	var s *fleetSlot
+	if n := len(f.free); n > 0 {
+		s = f.free[n-1]
+		f.free = f.free[:n-1]
+	} else {
+		s = &fleetSlot{}
+		s.client.Up = simnet.NewLink(simnet.DefaultClientBandwidth, 0)
+		s.client.Down = simnet.NewLink(simnet.DefaultClientBandwidth, 0)
+		f.slotsBuilt++
+	}
+	view, err := f.part.ClientIndices(id, s.view)
+	if err != nil {
+		f.free = append(f.free, s)
+		return nil, fmt.Errorf("expcfg: materialize client %d: %w", id, err)
+	}
+	s.view = view
+	f.seq++
+	c := &s.client
+	c.ID = id
+	c.Data = nil // the round path only touches the loader's view
+	c.Loader = data.NewViewLoader(f.train, view, f.batch, f.master.Fork("loader", id, f.seq))
+	c.Speed = trace.NewClientSpeed(id, f.tcfg, f.master.Fork("speeds"))
+	c.Weight = float64(len(view))
+	c.Chaos = f.master.Fork("chaos", id, f.seq)
+	f.live[c] = s
+	return c, nil
+}
+
+// Recycle implements fl.Fleet: return the client's slot to the pool.
+func (f *VirtualFleet) Recycle(c *fl.Client) {
+	s, ok := f.live[c]
+	if !ok {
+		return
+	}
+	delete(f.live, c)
+	f.free = append(f.free, s)
+	f.recycleCalls++
+}
+
+// SampleCohort implements fl.CohortSampler: k distinct client ordinals per
+// round, drawn from a round-labelled fork of the master RNG — deterministic
+// in (seed, round) and independent of every other round's draw.
+func (f *VirtualFleet) SampleCohort(round, k int, dst []int) []int {
+	return fl.SampleOrdinals(f.master.Fork("cohort", round), f.Size(), k, dst, f.seen)
+}
+
+// SlotStats implements fl.FleetStats.
+func (f *VirtualFleet) SlotStats() (materialized, recycled int64) {
+	return f.slotsBuilt, f.recycleCalls
+}
+
+// LiveSlots returns the number of currently materialized clients (test and
+// bench hook for the O(cohort) memory claim).
+func (f *VirtualFleet) LiveSlots() int { return len(f.live) }
+
+// FleetTestbed is the virtual-fleet analogue of Testbed.
+type FleetTestbed struct {
+	Workload Workload
+	Fleet    *VirtualFleet
+	Test     *data.Dataset
+	Factory  func() *nn.Network
+	Seed     uint64
+}
+
+// BuildFleet assembles a virtual fleet of fleetSize clients over the
+// workload's synthetic datasets. perClient is each client's shard size
+// (0 defaults to the workload batch size, the same floor Build enforces).
+// Everything derives from seed; impossible specs are errors, not panics.
+func BuildFleet(w Workload, fleetSize, perClient int, tcfg trace.Config, seed uint64) (*FleetTestbed, error) {
+	master := rng.New(seed)
+
+	var train, test *data.Dataset
+	switch w.Name {
+	case "lstm":
+		gen := data.NewSeqGenerator(data.SeqSpec{
+			Classes: w.Seq.Classes, SeqLen: w.Seq.SeqLen, FeatDim: w.Seq.FeatDim, Noise: w.Noise,
+		}, master.Fork("templates"))
+		train = gen.Generate(w.TrainN, master.Fork("train"))
+		test = gen.Generate(w.TestN, master.Fork("test"))
+	default:
+		gen := data.NewImageGenerator(data.ImageSpec{
+			Classes: w.Img.Classes, Channels: w.Img.Channels, Height: w.Img.Height, Width: w.Img.Width, Noise: w.Noise,
+		}, master.Fork("templates"))
+		train = gen.Generate(w.TrainN, master.Fork("train"))
+		test = gen.Generate(w.TestN, master.Fork("test"))
+	}
+
+	minPer := w.FL.BatchSize
+	if minPer < 2 {
+		minPer = 2
+	}
+	if perClient <= 0 {
+		perClient = minPer
+	}
+	part, err := data.NewLazyPartition(train.Y, data.PartitionSpec{
+		Clients:      fleetSize,
+		Alpha:        w.Alpha,
+		PerClient:    perClient,
+		MinPerClient: minPer,
+	}, master.Fork("partition"))
+	if err != nil {
+		return nil, err
+	}
+
+	fleet := &VirtualFleet{
+		part:   part,
+		train:  train,
+		tcfg:   tcfg,
+		master: master,
+		batch:  w.FL.BatchSize,
+		live:   make(map[*fl.Client]*fleetSlot),
+		seen:   make(map[int]bool),
+	}
+
+	modelSeed := master.Fork("model").Uint64()
+	factory := func() *nn.Network {
+		return w.NewModel(rng.New(modelSeed)).Network
+	}
+	return &FleetTestbed{Workload: w, Fleet: fleet, Test: test, Factory: factory, Seed: seed}, nil
+}
+
+// NewRunner builds an fl.Runner over the virtual fleet with the given scheme.
+func (tb *FleetTestbed) NewRunner(scheme fl.Scheme) (*fl.Runner, error) {
+	return fl.NewFleetRunner(tb.Workload.FL, tb.Fleet, scheme, tb.Test, tb.Factory)
+}

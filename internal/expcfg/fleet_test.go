@@ -1,0 +1,171 @@
+package expcfg
+
+import (
+	"testing"
+
+	"fedca/internal/baseline"
+	"fedca/internal/trace"
+)
+
+func tinyFleetWorkload() Workload {
+	return CNN().Shrink(4, 600, 120, 8)
+}
+
+// TestVirtualFleetMaterializeDeterministic: a client's materialized identity
+// (shard view, speed, weight) is a pure function of (seed, id) — the same
+// across independently built fleets and unaffected by slot reuse.
+func TestVirtualFleetMaterializeDeterministic(t *testing.T) {
+	build := func() *FleetTestbed {
+		tb, err := BuildFleet(tinyFleetWorkload(), 500, 16, trace.PaperConfig(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	a, b := build(), build()
+
+	// Churn b's pool first: materialize and recycle unrelated clients so
+	// client 42 lands in a reused slot.
+	for _, id := range []int{7, 400, 13} {
+		c, err := b.Fleet.Materialize(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Fleet.Recycle(c)
+	}
+
+	for _, id := range []int{0, 42, 499} {
+		ca, err := a.Fleet.Materialize(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.Fleet.Materialize(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca.ID != id || cb.ID != id {
+			t.Fatalf("ids %d/%d != %d", ca.ID, cb.ID, id)
+		}
+		if ca.Weight != cb.Weight || ca.Weight != 16 {
+			t.Fatalf("client %d weights %v/%v, want 16", id, ca.Weight, cb.Weight)
+		}
+		if ca.Speed.Static != cb.Speed.Static {
+			t.Fatalf("client %d static speeds diverge: %v vs %v", id, ca.Speed.Static, cb.Speed.Static)
+		}
+		// The speed derivation must match what a full NewFleet build gives
+		// the same client.
+		want := trace.NewClientSpeed(id, trace.PaperConfig(), a.Fleet.master.Fork("speeds"))
+		if ca.Speed.Static != want.Static {
+			t.Fatalf("client %d static %v != fleet-build %v", id, ca.Speed.Static, want.Static)
+		}
+	}
+	if _, err := a.Fleet.Materialize(500); err == nil {
+		t.Fatal("id outside the fleet accepted")
+	}
+	if a.Fleet.LiveSlots() != 3 {
+		t.Fatalf("a has %d live slots, want 3", a.Fleet.LiveSlots())
+	}
+}
+
+// TestVirtualFleetSlotPoolBounded: across many rounds the fleet must build
+// only O(cohort) slots, recycling the rest — the tentpole's memory claim in
+// miniature.
+func TestVirtualFleetSlotPoolBounded(t *testing.T) {
+	w := tinyFleetWorkload()
+	w.FL.AggregateFraction = 1
+	w.FL.Participation = 0.02 // 10 of 500
+	tb, err := BuildFleet(w, 500, 16, trace.Config{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tb.NewRunner(baseline.FedAvg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 8
+	cohort := 0
+	for i := 0; i < rounds; i++ {
+		res := r.RunRound()
+		if n := len(res.Collected) + len(res.Discarded); n != 10 {
+			t.Fatalf("round %d cohort %d, want 10", i, n)
+		}
+		cohort = 10
+		if live := tb.Fleet.LiveSlots(); live != 0 {
+			t.Fatalf("round %d left %d slots live", i, live)
+		}
+	}
+	built, recycled := tb.Fleet.SlotStats()
+	if built > int64(cohort) {
+		t.Fatalf("built %d slots for a %d-client cohort", built, cohort)
+	}
+	if recycled != int64(rounds*cohort) {
+		t.Fatalf("recycled %d client-rounds, want %d", recycled, rounds*cohort)
+	}
+	if st := r.Stats(); st.CohortClients != rounds*cohort {
+		t.Fatalf("CohortClients %d, want %d", st.CohortClients, rounds*cohort)
+	}
+}
+
+// TestVirtualFleetRunDeterministic: two identically seeded virtual-fleet
+// runs produce bit-identical parameters and virtual time — selection,
+// materialization, the online fold and slot recycling are all reproducible.
+func TestVirtualFleetRunDeterministic(t *testing.T) {
+	run := func() ([]float64, float64) {
+		w := tinyFleetWorkload()
+		w.FL.AggregateFraction = 1
+		w.FL.Participation = 0.05
+		tb, err := BuildFleet(w, 200, 16, trace.PaperConfig(), 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tb.NewRunner(baseline.FedAvg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.RunRound()
+		r.RunRound()
+		r.RunRound()
+		return r.GlobalFlat(), r.Now()
+	}
+	p1, t1 := run()
+	p2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual time differs: %v vs %v", t1, t2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestBuildFleetRejectsImpossibleSpecs: bad fleet shapes are errors (the
+// user-facing -fleet path), never panics.
+func TestBuildFleetRejectsImpossibleSpecs(t *testing.T) {
+	if _, err := BuildFleet(tinyFleetWorkload(), 0, 16, trace.Config{}, 1); err == nil {
+		t.Fatal("zero-client fleet accepted")
+	}
+	if _, err := BuildFleet(tinyFleetWorkload(), -5, 16, trace.Config{}, 1); err == nil {
+		t.Fatal("negative fleet accepted")
+	}
+	w := tinyFleetWorkload()
+	w.Alpha = -1
+	if _, err := BuildFleet(w, 10, 16, trace.Config{}, 1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	// perClient below the workload's batch-size floor is impossible.
+	if _, err := BuildFleet(tinyFleetWorkload(), 10, 3, trace.Config{}, 1); err == nil {
+		t.Fatal("shard smaller than a batch accepted")
+	}
+}
+
+// TestFleetParticipationRequiresSampler: Participation in (0,1) over a
+// static fleet has no seeded sampler and must be rejected at construction.
+func TestFleetParticipationRequiresSampler(t *testing.T) {
+	w := tinyFleetWorkload()
+	w.FL.Participation = 0.5
+	tb := Build(w, 8, trace.Config{}, 3)
+	if _, err := tb.NewRunner(baseline.FedAvg{}); err == nil {
+		t.Fatal("participation over a static fleet accepted")
+	}
+}

@@ -41,13 +41,21 @@ func TestWorkerCountInvariance(t *testing.T) {
 		name      string
 		chaos     func(t *testing.T) *chaos.Engine
 		telemetry bool
+		fleet     bool
 	}{
-		{"plain", func(*testing.T) *chaos.Engine { return nil }, false},
-		{"chaos", newChaos, false},
+		{"plain", func(*testing.T) *chaos.Engine { return nil }, false, false},
+		{"chaos", newChaos, false, false},
 		// Telemetry observes the parallel client phase from worker
 		// goroutines; the trace and metrics it gathers must not leak back
 		// into the run (see also TestTelemetryInert).
-		{"chaos+telemetry", newChaos, true},
+		{"chaos+telemetry", newChaos, true, false},
+		// Virtual fleet: lazy cohort materialization, participation
+		// sampling and the online streaming fold (AggregateFraction = 1)
+		// must all be worker-count invariant too — the fold's in-order
+		// frontier makes the floating-point sequence independent of which
+		// worker finishes first, even under chaos-injected dropouts and
+		// corruptions.
+		{"virtual-fleet+chaos", newChaos, false, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -60,8 +68,20 @@ func TestWorkerCountInvariance(t *testing.T) {
 				if tc.telemetry {
 					w.FL.Telemetry = telemetry.New()
 				}
-				tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
-				r, err := tb.NewRunner(baseline.FedAvg{})
+				var r *fl.Runner
+				var err error
+				if tc.fleet {
+					w.FL.AggregateFraction = 1
+					w.FL.Participation = 0.25
+					ftb, ferr := expcfg.BuildFleet(w, 40, 0, trace.PaperConfig(), 50)
+					if ferr != nil {
+						t.Fatal(ferr)
+					}
+					r, err = ftb.NewRunner(baseline.FedAvg{})
+				} else {
+					tb := expcfg.Build(w, 6, trace.PaperConfig(), 50)
+					r, err = tb.NewRunner(baseline.FedAvg{})
+				}
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -21,9 +21,15 @@
 //     AfterIteration, Finalize, OnDropout — run on the worker, concurrently
 //     with other clients' controllers.
 //   - Reduce phase (parallel, deterministic): the default weighted-FedAvg
-//     reduce shards the parameter vector across workers; each element's
-//     floating-point operation order matches the serial loop, so the result
-//     is bit-identical regardless of worker count.
+//     reduce streams client deltas through fixed fan-in chunks, sharding the
+//     parameter vector across workers within each chunk; every element's
+//     floating-point operation order matches the serial client-major loop,
+//     so the result is bit-identical for any worker count or fan-in, and
+//     each chunk's deltas recycle as soon as its barrier passes. At full
+//     aggregation (AggregateFraction == 1) the fold instead runs online
+//     during the client phase, in participant-index order at the in-order
+//     completion frontier — still worker-count invariant — so peak delta
+//     memory is the out-of-order window, not the cohort.
 //
 // Consequences: controller-local state needs no locking (one controller's
 // hooks are sequential), but any state shared across controllers or exposed
@@ -57,6 +63,12 @@ type Config struct {
 	// AggregateFraction of the earliest-returning updates the server waits
 	// for before closing the round (paper: 0.9).
 	AggregateFraction float64
+
+	// Participation is the fraction of the fleet sampled into each round's
+	// cohort. Zero or one means the whole fleet participates; a value in
+	// (0,1) requires the runner's Fleet to implement CohortSampler (virtual
+	// fleets do) and is ignored when a Selector scheme picks the cohort.
+	Participation float64
 
 	// BaseIterTime is the nominal compute seconds of one local iteration on
 	// ideal hardware; per-client factors multiply it.
@@ -151,6 +163,9 @@ func (c *Config) Validate(numParams int) error {
 	}
 	if c.AggregateFraction <= 0 || c.AggregateFraction > 1 || math.IsNaN(c.AggregateFraction) {
 		return fmt.Errorf("fl: AggregateFraction must be in (0,1], got %v", c.AggregateFraction)
+	}
+	if c.Participation < 0 || c.Participation > 1 || math.IsNaN(c.Participation) {
+		return fmt.Errorf("fl: Participation must be in [0,1], got %v", c.Participation)
 	}
 	if c.BaseIterTime <= 0 || math.IsNaN(c.BaseIterTime) || math.IsInf(c.BaseIterTime, 0) {
 		return fmt.Errorf("fl: BaseIterTime must be positive and finite, got %v", c.BaseIterTime)

@@ -1,0 +1,126 @@
+package fl
+
+// The fleet abstraction virtualizes the client population: the runner never
+// holds more client state than the round's cohort. A Fleet maps client ids
+// to materialized *Client values on demand — a static fleet just indexes a
+// pre-built slice, a virtual fleet (expcfg.BuildFleet) derives every
+// client's data shard, speed model, links and chaos stream from
+// (fleetSeed, clientID) when the client is selected, into a pooled slot
+// that Recycle returns after the round. Million-client fleets therefore
+// cost O(cohort) live memory, not O(fleet).
+
+import (
+	"fmt"
+	"sort"
+
+	"fedca/internal/rng"
+)
+
+// Fleet is the client population a Runner draws each round's cohort from.
+//
+// Materialize and Recycle are called on the serial server phase of the
+// round loop (see the package concurrency contract), so implementations
+// need no locking against the runner. Materialize may return a pooled slot
+// whose previous occupant was recycled; Recycle hands a client back once
+// its round is fully processed (no Update or scheme state references it —
+// controllers only retain the client id).
+type Fleet interface {
+	// Size is the fleet's population count.
+	Size() int
+	// ClientID returns the id of the fleet's i-th member, i in [0, Size).
+	// Virtual fleets use the identity mapping; static fleets may carry
+	// arbitrary ids.
+	ClientID(i int) int
+	// Materialize returns the live client for id, building or reusing a
+	// cohort slot as needed. The id must be one ClientID can return.
+	Materialize(id int) (*Client, error)
+	// Recycle returns a materialized client's slot to the fleet's pool.
+	// No-op for static fleets.
+	Recycle(c *Client)
+}
+
+// CohortSampler is an optional Fleet extension: fleets built from a seed
+// sample each round's cohort deterministically. SampleCohort returns k
+// distinct member ordinals for the round, ascending, appended to dst.
+// Config.Participation requires the runner's fleet to implement it.
+type CohortSampler interface {
+	SampleCohort(round, k int, dst []int) []int
+}
+
+// FleetStats is an optional Fleet extension reporting slot-pool behaviour
+// for the journal's cohort events: cumulative slots built (materializations
+// that missed the pool) and clients recycled back into it.
+type FleetStats interface {
+	SlotStats() (materialized, recycled int64)
+}
+
+// StaticFleet adapts a pre-materialized client slice — the classic testbed
+// shape — to the Fleet interface. Materialize is a lookup and Recycle a
+// no-op: every client stays live for the run, exactly as before.
+type StaticFleet struct {
+	clients []*Client
+	byID    map[int]*Client
+}
+
+// NewStaticFleet wraps clients. Ids must be unique.
+func NewStaticFleet(clients []*Client) *StaticFleet {
+	f := &StaticFleet{clients: clients, byID: make(map[int]*Client, len(clients))}
+	for _, c := range clients {
+		if _, dup := f.byID[c.ID]; dup {
+			panic(fmt.Sprintf("fl: duplicate client id %d in static fleet", c.ID))
+		}
+		f.byID[c.ID] = c
+	}
+	return f
+}
+
+// Size implements Fleet.
+func (f *StaticFleet) Size() int { return len(f.clients) }
+
+// ClientID implements Fleet.
+func (f *StaticFleet) ClientID(i int) int { return f.clients[i].ID }
+
+// Clients returns the underlying slice (shared, not a copy).
+func (f *StaticFleet) Clients() []*Client { return f.clients }
+
+// Materialize implements Fleet: a map lookup, with a fast path for the
+// common sequential-id layout.
+func (f *StaticFleet) Materialize(id int) (*Client, error) {
+	if id >= 0 && id < len(f.clients) && f.clients[id].ID == id {
+		return f.clients[id], nil
+	}
+	c, ok := f.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("fl: unknown client %d", id)
+	}
+	return c, nil
+}
+
+// Recycle implements Fleet as a no-op: static clients are never pooled.
+func (f *StaticFleet) Recycle(*Client) {}
+
+// SampleOrdinals draws k distinct ordinals from [0, n) in O(k) memory and
+// time using Floyd's algorithm, appends them to dst and returns it sorted
+// ascending — so cohort materialization order, and with it the streaming
+// reduce's fold order, is deterministic. seen is the sampler's scratch set,
+// cleared on entry; pass the same map across rounds to avoid reallocating.
+// rng.Sample is O(n) (it permutes the whole range), which a million-client
+// fleet cannot afford per round.
+func SampleOrdinals(r *rng.RNG, n, k int, dst []int, seen map[int]bool) []int {
+	if k > n {
+		k = n
+	}
+	for id := range seen {
+		delete(seen, id)
+	}
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if seen[t] {
+			t = j
+		}
+		seen[t] = true
+		dst = append(dst, t)
+	}
+	sort.Ints(dst[len(dst)-k:])
+	return dst
+}

@@ -14,11 +14,11 @@ import (
 // an accepting no-op (idempotence).
 func FuzzConfigValidate(f *testing.F) {
 	// The paper's CIFAR-10 workload plus a few adversarial shapes.
-	f.Add(125, 50, 0, 0, 0.05, 0.9, 0.01, 0.9, 0.03, 0.0, 0.0, 0.0, 1000)
-	f.Add(1, 1, 0, -3, 0.01, 0.0, 0.0, 1.0, 1e-6, 139.4e6, 1.0, 1e6, 7)
-	f.Add(0, 50, 16, 1, math.NaN(), math.Inf(1), -1.0, 1.5, -0.5, -4.0, 2.0, -1.0, 0)
+	f.Add(125, 50, 0, 0, 0.05, 0.9, 0.01, 0.9, 0.03, 0.0, 0.0, 0.0, 0.01, 1000)
+	f.Add(1, 1, 0, -3, 0.01, 0.0, 0.0, 1.0, 1e-6, 139.4e6, 1.0, 1e6, 1.0, 7)
+	f.Add(0, 50, 16, 1, math.NaN(), math.Inf(1), -1.0, 1.5, -0.5, -4.0, 2.0, -1.0, math.NaN(), 0)
 	f.Fuzz(func(t *testing.T, localIters, batchSize, evalBatch, minQuorum int,
-		lr, momentum, weightDecay, aggFrac, baseIter, modelBytes, dropProb, maxNorm float64,
+		lr, momentum, weightDecay, aggFrac, baseIter, modelBytes, dropProb, maxNorm, participation float64,
 		numParams int) {
 		cfg := fl.Config{
 			LocalIters:        localIters,
@@ -33,6 +33,7 @@ func FuzzConfigValidate(f *testing.F) {
 			ModelBytes:        modelBytes,
 			DropoutProb:       dropProb,
 			MaxDeltaNorm:      maxNorm,
+			Participation:     participation,
 		}
 		if err := cfg.Validate(numParams); err != nil {
 			return // rejected: nothing else to guarantee
@@ -67,6 +68,9 @@ func FuzzConfigValidate(f *testing.F) {
 		}
 		if cfg.MaxDeltaNorm < 0 || math.IsNaN(cfg.MaxDeltaNorm) {
 			t.Fatalf("accepted bad MaxDeltaNorm: %v", cfg.MaxDeltaNorm)
+		}
+		if cfg.Participation < 0 || cfg.Participation > 1 || math.IsNaN(cfg.Participation) {
+			t.Fatalf("accepted Participation outside [0,1]: %v", cfg.Participation)
 		}
 		// Idempotence: validating an already-validated config changes nothing.
 		before := cfg

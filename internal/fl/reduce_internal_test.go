@@ -38,10 +38,40 @@ func serialReduce(flat []float64, collected []Update, totalW float64) {
 	}
 }
 
-// TestWeightedReduceDeterministic: the sharded parallel reduce must produce
-// globals bit-identical to the serial loop for every worker count, including
-// parameter counts that do and don't clear the minReduceShard gate and shard
-// boundaries that don't divide evenly.
+// shardedReduce is the pre-streaming flat sharded reduce (PR 1), kept
+// verbatim as a second oracle: the streaming tree must match not only the
+// serial loop but the implementation whose outputs the goldens pinned.
+func shardedReduce(flat, agg []float64, collected []Update, totalW float64, workers int) {
+	n := len(flat)
+	if workers > n/minReduceShard {
+		workers = n / minReduceShard
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	reduceShards(n, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			agg[j] = 0
+		}
+		for _, u := range collected {
+			w := u.Weight / totalW
+			d := u.Delta
+			for j := lo; j < hi; j++ {
+				agg[j] += w * d[j]
+			}
+		}
+		for j := lo; j < hi; j++ {
+			flat[j] += agg[j]
+		}
+	})
+}
+
+// TestWeightedReduceDeterministic: the streaming chunked reduce must produce
+// globals bit-identical to the serial loop AND to the old flat sharded
+// reduce, for every worker count, fan-in and cohort size — including
+// parameter counts that do and don't clear the minReduceShard gate, shard
+// boundaries that don't divide evenly, and cohorts smaller than, equal to
+// and much larger than the fan-in.
 func TestWeightedReduceDeterministic(t *testing.T) {
 	// Raise the shared token budget above this box's core count so the
 	// parallel shard paths are actually exercised even on a 1-CPU runner;
@@ -50,7 +80,7 @@ func TestWeightedReduceDeterministic(t *testing.T) {
 	defer cputok.Default().SetCap(0)
 	r := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 7, minReduceShard, 10 * minReduceShard} {
-		for _, clients := range []int{1, 3, 9} {
+		for _, clients := range []int{1, 3, 9, 40} {
 			ups, totalW := randomUpdates(r, clients, n)
 			base := make([]float64, n)
 			for j := range base {
@@ -58,16 +88,105 @@ func TestWeightedReduceDeterministic(t *testing.T) {
 			}
 			want := append([]float64(nil), base...)
 			serialReduce(want, ups, totalW)
+			check := func(label string, got []float64) {
+				t.Helper()
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("n=%d clients=%d %s: flat[%d] = %v, serial %v",
+							n, clients, label, j, got[j], want[j])
+					}
+				}
+			}
 			for _, workers := range []int{1, 2, 4, 13} {
 				got := append([]float64(nil), base...)
 				agg := make([]float64, n)
-				weightedReduce(got, agg, ups, totalW, workers)
-				for j := range got {
-					if got[j] != want[j] {
-						t.Fatalf("n=%d clients=%d workers=%d: flat[%d] = %v, serial %v",
-							n, clients, workers, j, got[j], want[j])
-					}
+				shardedReduce(got, agg, ups, totalW, workers)
+				check(fmt.Sprintf("sharded workers=%d", workers), got)
+
+				got = append([]float64(nil), base...)
+				weightedReduce(got, agg, ups, totalW, workers, nil)
+				check(fmt.Sprintf("stream workers=%d", workers), got)
+
+				for _, fanIn := range []int{1, 2, 8, 1000} {
+					got = append([]float64(nil), base...)
+					streamReduce(got, agg, ups, totalW, workers, fanIn, nil)
+					check(fmt.Sprintf("stream workers=%d fanIn=%d", workers, fanIn), got)
 				}
+			}
+		}
+	}
+}
+
+// TestStreamReduceRecycles: the recycle callback must receive every
+// collected delta exactly once, as its chunk completes.
+func TestStreamReduceRecycles(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const n, clients = 64, 11
+	ups, totalW := randomUpdates(r, clients, n)
+	flat := make([]float64, n)
+	agg := make([]float64, n)
+	seen := make(map[*float64]int)
+	streamReduce(flat, agg, ups, totalW, 4, 3, func(d []float64) {
+		seen[&d[0]]++
+	})
+	if len(seen) != clients {
+		t.Fatalf("recycled %d distinct deltas, want %d", len(seen), clients)
+	}
+	for _, u := range ups {
+		if seen[&u.Delta[0]] != 1 {
+			t.Fatalf("client %d delta recycled %d times", u.ClientID, seen[&u.Delta[0]])
+		}
+	}
+}
+
+// TestOnlineFoldMatchesAnyCompletionOrder: folding updates at the in-order
+// frontier must yield the same accumulator, weight total and quarantine
+// verdicts no matter which order completions arrive in — the property that
+// makes the online path worker-count invariant.
+func TestOnlineFoldMatchesAnyCompletionOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const n, clients = 32, 7
+	build := func() []Update {
+		ups, _ := randomUpdates(r, clients, n)
+		return ups
+	}
+	ref := build()
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 1, 5, 2, 4},
+	}
+	var wantAgg []float64
+	var wantW float64
+	for oi, order := range orders {
+		ups := make([]Update, clients)
+		for i := range ups {
+			ups[i] = ref[i]
+			ups[i].Delta = append([]float64(nil), ref[i].Delta...)
+		}
+		f := &onlineFold{
+			agg:     make([]float64, n),
+			updates: ups,
+			done:    make([]bool, clients),
+			pool:    &deltaPool{},
+		}
+		for _, i := range order {
+			f.complete(i)
+		}
+		if f.next != clients {
+			t.Fatalf("order %d: fold frontier stopped at %d/%d", oi, f.next, clients)
+		}
+		if oi == 0 {
+			wantAgg = append([]float64(nil), f.agg...)
+			wantW = f.totalW
+			continue
+		}
+		if f.totalW != wantW {
+			t.Fatalf("order %d: totalW %v != %v", oi, f.totalW, wantW)
+		}
+		for j := range f.agg {
+			if f.agg[j] != wantAgg[j] {
+				t.Fatalf("order %d: agg[%d] = %v, want %v", oi, j, f.agg[j], wantAgg[j])
 			}
 		}
 	}
@@ -84,7 +203,7 @@ func BenchmarkWeightedReduce(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				weightedReduce(flat, agg, ups, totalW, workers)
+				weightedReduce(flat, agg, ups, totalW, workers, nil)
 			}
 		})
 	}

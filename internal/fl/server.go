@@ -43,6 +43,7 @@ type RunnerStats struct {
 	Quarantined   int `json:"quarantined"`    // updates rejected by validation
 	DroppedRounds int `json:"dropped_rounds"` // client-rounds lost to mid-round dropout
 	LinkRetries   int `json:"link_retries"`   // failed transfer attempts that were retransmitted
+	CohortClients int `json:"cohort_clients"` // client-rounds materialized into cohorts over the run
 }
 
 // Duration returns the round's virtual wall time.
@@ -50,11 +51,11 @@ func (r RoundResult) Duration() float64 { return r.End - r.Start }
 
 // Runner drives a full FL training run for one scheme.
 type Runner struct {
-	Cfg     Config
-	Clients []*Client
-	Scheme  Scheme
-	Test    *data.Dataset
-	Hist    *History
+	Cfg    Config
+	Fleet  Fleet
+	Scheme Scheme
+	Test   *data.Dataset
+	Hist   *History
 
 	global  *nn.Network
 	flat    []float64
@@ -65,29 +66,76 @@ type Runner struct {
 	round   int
 	now     float64
 
+	// Reused per-round cohort buffers: ids, the materialized cohort slice
+	// (what used to be a fresh `chosen` allocation every selector round),
+	// controllers, raw updates and the fold bookkeeping all recycle with the
+	// round buffers, so steady-state rounds allocate no cohort-sized slices.
+	cohortIDs []int
+	cohort    []*Client
+	ctrls     []Controller
+	updates   []Update
+	order     []int
+	seen      map[int]bool
+	foldDone  []bool
+
 	// statsMu guards stats: the round loop updates it serially, but monitors
 	// may poll Stats from other goroutines while a round runs.
 	statsMu sync.Mutex
 	stats   RunnerStats
 }
 
-// NewRunner wires a runner. factory must build fresh identically-shaped
-// networks; the first one becomes the global model (its initialization is the
-// run's starting point) and one extra per worker executes client training.
+// NewRunner wires a runner over a pre-materialized client slice (wrapped in
+// a StaticFleet). factory must build fresh identically-shaped networks; the
+// first one becomes the global model (its initialization is the run's
+// starting point) and one extra per worker executes client training.
 func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset, factory func() *nn.Network) (*Runner, error) {
 	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	r, err := NewFleetRunner(cfg, NewStaticFleet(clients), scheme, test, factory)
+	if err != nil {
+		return nil, err
+	}
+	if t := r.Cfg.Telemetry; t != nil {
+		// Observe every client link and name the trace tracks. Observers are
+		// passive (simnet.TransferObserver), so the links' arithmetic — and
+		// therefore the run — is unchanged. Virtual fleets attach observers
+		// at materialization instead and skip track naming (a million named
+		// tracks is not a trace anyone reads).
+		for _, c := range clients {
+			c.Up.Observer = t.UpObserver()
+			c.Down.Observer = t.DownObserver()
+			t.Tracer().NameTrack(telemetry.ClientTrack(c.ID), fmt.Sprintf("client %d", c.ID))
+		}
+	}
+	return r, nil
+}
+
+// NewFleetRunner wires a runner over a Fleet — the entry point for virtual
+// fleets where only each round's cohort is materialized. Worker networks are
+// sized by min(CPU-token cap, expected cohort), so a million-client fleet at
+// 1% participation builds the same handful of worker models a static testbed
+// would. Config.Participation in (0,1) requires the fleet to implement
+// CohortSampler.
+func NewFleetRunner(cfg Config, fleet Fleet, scheme Scheme, test *data.Dataset, factory func() *nn.Network) (*Runner, error) {
+	if fleet == nil || fleet.Size() == 0 {
 		return nil, fmt.Errorf("fl: no clients")
 	}
 	global := factory()
 	if err := cfg.Validate(global.NumParams()); err != nil {
 		return nil, err
 	}
+	if p := cfg.Participation; p > 0 && p < 1 {
+		if _, ok := fleet.(CohortSampler); !ok {
+			return nil, fmt.Errorf("fl: Participation %v requires a cohort-sampling fleet", p)
+		}
+	}
 	// One network per potential worker, sized by the CPU-token budget at
 	// construction. At round time the runner borrows tokens for however many
 	// of these it may actually run concurrently.
 	nWorkers := cputok.Default().Cap()
-	if nWorkers > len(clients) {
-		nWorkers = len(clients)
+	if c := expectedCohort(cfg, fleet.Size()); nWorkers > c {
+		nWorkers = c
 	}
 	if nWorkers < 1 {
 		nWorkers = 1
@@ -99,19 +147,9 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 		workers[i] = factory()
 		bufs[i] = &RoundBuffers{pool: pool}
 	}
-	if t := cfg.Telemetry; t != nil {
-		// Observe every client link and name the trace tracks. Observers are
-		// passive (simnet.TransferObserver), so the links' arithmetic — and
-		// therefore the run — is unchanged.
-		for _, c := range clients {
-			c.Up.Observer = t.UpObserver()
-			c.Down.Observer = t.DownObserver()
-			t.Tracer().NameTrack(telemetry.ClientTrack(c.ID), fmt.Sprintf("client %d", c.ID))
-		}
-	}
 	return &Runner{
 		Cfg:     cfg,
-		Clients: clients,
+		Fleet:   fleet,
 		Scheme:  scheme,
 		Test:    test,
 		Hist:    NewHistory(),
@@ -120,7 +158,21 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 		workers: workers,
 		bufs:    bufs,
 		pool:    pool,
+		seen:    make(map[int]bool),
 	}, nil
+}
+
+// expectedCohort returns the per-round cohort size a config implies: the
+// participation sample when one is configured, the whole fleet otherwise.
+func expectedCohort(cfg Config, fleetSize int) int {
+	if p := cfg.Participation; p > 0 && p < 1 {
+		k := int(math.Round(p * float64(fleetSize)))
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+	return fleetSize
 }
 
 // Global returns the server's model (parameters current as of the last
@@ -148,41 +200,83 @@ func (r *Runner) Stats() RunnerStats {
 	return r.stats
 }
 
+// selectCohort decides which client ids participate this round, reusing the
+// runner's id buffer: a Selector scheme's choice (deduplicated, order
+// preserved) when one is active, else a deterministic participation sample
+// from the fleet's seeded sampler, else the whole fleet.
+func (r *Runner) selectCohort() (ids []int, fromSelector bool) {
+	ids = r.cohortIDs[:0]
+	if sel, ok := r.Scheme.(Selector); ok {
+		if chosen := sel.SelectClients(r.round, r.Hist, r.Fleet.Size()); len(chosen) > 0 {
+			for id := range r.seen {
+				delete(r.seen, id)
+			}
+			for _, id := range chosen {
+				if r.seen[id] {
+					continue
+				}
+				r.seen[id] = true
+				ids = append(ids, id)
+			}
+			r.cohortIDs = ids
+			return ids, true
+		}
+	}
+	if sampler, ok := r.Fleet.(CohortSampler); ok {
+		if p := r.Cfg.Participation; p > 0 && p < 1 {
+			k := expectedCohort(r.Cfg, r.Fleet.Size())
+			ids = sampler.SampleCohort(r.round, k, ids)
+			r.cohortIDs = ids
+			return ids, false
+		}
+	}
+	for i := 0; i < r.Fleet.Size(); i++ {
+		ids = append(ids, r.Fleet.ClientID(i))
+	}
+	r.cohortIDs = ids
+	return ids, false
+}
+
 // RunRound executes one full round and returns its result.
 func (r *Runner) RunRound() RoundResult {
 	plan := r.Scheme.PlanRound(r.round, r.Hist)
 	start := r.now
 
-	// Participation: full by default; schemes implementing Selector narrow it.
-	participants := r.Clients
-	if sel, ok := r.Scheme.(Selector); ok {
-		if ids := sel.SelectClients(r.round, r.Hist, len(r.Clients)); len(ids) > 0 {
-			byID := make(map[int]*Client, len(r.Clients))
-			for _, c := range r.Clients {
-				byID[c.ID] = c
+	// Cohort materialization (serial server phase): ids become live clients,
+	// pooled slots for virtual fleets, plain lookups for static ones.
+	ids, fromSelector := r.selectCohort()
+	participants := r.cohort[:0]
+	for _, id := range ids {
+		c, err := r.Fleet.Materialize(id)
+		if err != nil {
+			if fromSelector {
+				panic(fmt.Sprintf("fl: selector chose unknown client %d", id))
 			}
-			seen := make(map[int]bool, len(ids))
-			chosen := make([]*Client, 0, len(ids))
-			for _, id := range ids {
-				c, ok := byID[id]
-				if !ok {
-					panic(fmt.Sprintf("fl: selector chose unknown client %d", id))
-				}
-				if seen[id] {
-					continue
-				}
-				seen[id] = true
-				chosen = append(chosen, c)
-			}
-			participants = chosen
+			panic(fmt.Sprintf("fl: fleet failed to materialize client %d: %v", id, err))
 		}
+		if t := r.Cfg.Telemetry; t != nil {
+			// Static fleets attached observers at construction; virtual
+			// slots get theirs on first materialization (observers are
+			// passive, so the run is unchanged either way).
+			if c.Up.Observer == nil {
+				c.Up.Observer = t.UpObserver()
+			}
+			if c.Down.Observer == nil {
+				c.Down.Observer = t.DownObserver()
+			}
+		}
+		participants = append(participants, c)
 	}
+	r.cohort = participants
 
 	// Controllers are created serially (the Scheme contract): schemes may
 	// mutate shared state (e.g. FedCA's per-client profiles) during
 	// construction without locking against other NewController calls —
 	// though stats they expose to concurrent pollers still need locks.
-	ctrls := make([]Controller, len(participants))
+	if cap(r.ctrls) < len(participants) {
+		r.ctrls = make([]Controller, len(participants))
+	}
+	ctrls := r.ctrls[:len(participants)]
 	for i, c := range participants {
 		ctrls[i] = r.Scheme.NewController(c, r.round, plan)
 	}
@@ -200,7 +294,44 @@ func (r *Runner) RunRound() RoundResult {
 	// (every token held by sibling experiment cells) degrades to the serial
 	// path instead of oversubscribing. Results land in a slice indexed by
 	// participant, so the outcome is order-independent.
-	updates := make([]Update, len(participants))
+	if cap(r.updates) < len(participants) {
+		r.updates = make([]Update, len(participants))
+	}
+	updates := r.updates[:len(participants)]
+
+	// Online streaming fold: when every non-dropped update is aggregated
+	// (AggregateFraction == 1) on the default path, completed updates fold
+	// into the accumulator while the client phase still runs and their
+	// deltas recycle immediately — peak delta memory is the out-of-order
+	// completion window, not the cohort. With a partial-aggregation cut the
+	// collected set depends on every virtual completion time, so the fold
+	// must wait for the cut and streams through weightedReduce instead.
+	_, customAgg := r.Scheme.(Aggregator)
+	var fold *onlineFold
+	if r.Cfg.AggregateFraction >= 1 && !customAgg && !r.Cfg.RetainUpdateDeltas {
+		if len(r.aggBuf) != len(r.flat) {
+			r.aggBuf = make([]float64, len(r.flat))
+		}
+		if cap(r.foldDone) < len(participants) {
+			r.foldDone = make([]bool, len(participants))
+		}
+		done := r.foldDone[:len(participants)]
+		for i := range done {
+			done[i] = false
+		}
+		fold = &onlineFold{
+			agg:      r.aggBuf,
+			updates:  updates,
+			done:     done,
+			validate: r.Cfg.ValidateUpdates || r.Cfg.Chaos != nil,
+			maxNorm:  r.Cfg.MaxDeltaNorm,
+			pool:     r.pool,
+		}
+		for j := range fold.agg {
+			fold.agg[j] = 0
+		}
+	}
+
 	maxWorkers := len(r.workers)
 	if maxWorkers > len(participants) {
 		maxWorkers = len(participants)
@@ -218,6 +349,9 @@ func (r *Runner) RunRound() RoundResult {
 				return
 			}
 			updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs, anchor)
+			if fold != nil {
+				fold.complete(i)
+			}
 		}
 	}
 	var wg sync.WaitGroup
@@ -233,7 +367,10 @@ func (r *Runner) RunRound() RoundResult {
 	cputok.Default().Return(borrowed)
 
 	// Partial aggregation: earliest AggregateFraction of updates.
-	order := make([]int, len(updates))
+	if cap(r.order) < len(updates) {
+		r.order = make([]int, len(updates))
+	}
+	order := r.order[:len(updates)]
 	for i := range order {
 		order[i] = i
 	}
@@ -276,9 +413,23 @@ func (r *Runner) RunRound() RoundResult {
 
 	// Update validation: quarantine deltas no sane server would aggregate —
 	// any non-finite coordinate, or (when bounded) an exploded norm. The
-	// quarantined update stays visible in Discarded.
+	// quarantined update stays visible in Discarded. On the online-fold path
+	// validation already ran at fold time (identically: the fold checks the
+	// same predicate in the same participant order); here the marked updates
+	// only move from collected to discarded.
 	quarantined := 0
-	if r.Cfg.ValidateUpdates || r.Cfg.Chaos != nil {
+	if fold != nil {
+		valid := collected[:0]
+		for _, u := range collected {
+			if u.Quarantined {
+				discarded = append(discarded, u)
+				quarantined++
+			} else {
+				valid = append(valid, u)
+			}
+		}
+		collected = valid
+	} else if r.Cfg.ValidateUpdates || r.Cfg.Chaos != nil {
 		valid := collected[:0]
 		for _, u := range collected {
 			if deltaValid(u.Delta, r.Cfg.MaxDeltaNorm) {
@@ -301,6 +452,12 @@ func (r *Runner) RunRound() RoundResult {
 	}
 	skipped := len(collected) < quorum
 
+	// deltasRecycled marks collected deltas that already went back to the
+	// pool — by the online fold, or by weightedReduce's per-chunk recycling —
+	// so the cleanup loop below must not pool them a second time. (Their
+	// Update.Delta fields are already nil on the fold path; weightedReduce
+	// recycles via callback while the Update still points at the buffer.)
+	deltasRecycled := fold != nil
 	if !skipped {
 		// Aggregation: schemes implementing Aggregator replace the default
 		// weighted FedAvg mean (e.g. SAFA-style stale-update reuse).
@@ -309,6 +466,8 @@ func (r *Runner) RunRound() RoundResult {
 			if len(r.flat) != r.global.NumParams() {
 				panic("fl: aggregator returned a wrong-sized parameter vector")
 			}
+		} else if fold != nil {
+			applyFold(r.flat, fold.agg, fold.totalW, len(r.workers))
 		} else {
 			var totalW float64
 			for _, u := range collected {
@@ -317,11 +476,15 @@ func (r *Runner) RunRound() RoundResult {
 			if len(r.aggBuf) != len(r.flat) {
 				r.aggBuf = make([]float64, len(r.flat))
 			}
-			weightedReduce(r.flat, r.aggBuf, collected, totalW, len(r.workers))
+			var recycle func([]float64)
+			if !r.Cfg.RetainUpdateDeltas {
+				recycle = r.pool.put
+				deltasRecycled = true
+			}
+			weightedReduce(r.flat, r.aggBuf, collected, totalW, len(r.workers), recycle)
 		}
 		r.global.SetFlatParams(r.flat)
 	}
-	_, customAgg := r.Scheme.(Aggregator)
 
 	// Timing estimates stay fresh even on skipped rounds: the survivors'
 	// updates really arrived. Quarantined updates are distrusted entirely.
@@ -332,9 +495,10 @@ func (r *Runner) RunRound() RoundResult {
 		// The deltas are dead now; recycle them into the worker pool — but
 		// only on the default-aggregation path: a custom Aggregator may have
 		// retained references (SAFA caches stragglers), and clobbering those
-		// through the pool would corrupt it silently.
+		// through the pool would corrupt it silently. Skipped rounds never
+		// entered the reduce, so their collected deltas are pooled here.
 		for i := range collected {
-			if !customAgg {
+			if !customAgg && !deltasRecycled {
 				r.pool.put(collected[i].Delta)
 			}
 			collected[i].Delta = nil
@@ -357,16 +521,18 @@ func (r *Runner) RunRound() RoundResult {
 		Skipped:     skipped,
 		Quarantined: quarantined,
 	}
-	var sumIter, sumEager, sumRetr float64
+	var sumIter, sumEager, sumRetr, upBytes float64
 	dropped, linkRetries := 0, 0
 	for _, u := range collected {
 		sumIter += float64(u.Iterations)
 		sumEager += float64(u.EagerSent)
 		sumRetr += float64(u.Retransmitted)
 		linkRetries += u.LinkRetries
+		upBytes += u.UploadBytes
 	}
 	for _, u := range discarded {
 		linkRetries += u.LinkRetries
+		upBytes += u.UploadBytes
 		if u.Dropped {
 			dropped++
 		}
@@ -388,9 +554,11 @@ func (r *Runner) RunRound() RoundResult {
 	r.stats.Quarantined += quarantined
 	r.stats.DroppedRounds += dropped
 	r.stats.LinkRetries += linkRetries
+	r.stats.CohortClients += len(participants)
 	r.statsMu.Unlock()
 
 	r.Cfg.Telemetry.RoundDone(r.round, start, end, res.Accuracy, len(collected), quarantined, dropped, skipped)
+	r.Cfg.Telemetry.ObserveCohort(r.Fleet.Size(), len(participants))
 
 	// Journal the round serially: per-client attribution for every
 	// participant, then one event per quarantine/dropout, then the round
@@ -409,6 +577,19 @@ func (r *Runner) RunRound() RoundResult {
 			}
 		}
 		j.RoundDone(r.round, end, len(collected), quarantined, dropped, skipped)
+		var made, recycled int64
+		if fs, ok := r.Fleet.(FleetStats); ok {
+			made, recycled = fs.SlotStats()
+		}
+		j.Cohort(r.round, r.Fleet.Size(), len(participants), made, recycled, upBytes)
+	}
+
+	// Return cohort slots to the fleet's pool (no-op for static fleets).
+	// Nothing references the clients by now: updates carry metadata only
+	// (deltas recycled or nil'd above) and controllers retain just the id.
+	for i, c := range participants {
+		r.Fleet.Recycle(c)
+		participants[i] = nil
 	}
 
 	r.round++
@@ -450,43 +631,34 @@ func (r *Runner) RunUntil(target float64, maxRounds int) []RoundResult {
 // goroutine in the weighted reduce; smaller models reduce serially.
 const minReduceShard = 2048
 
-// weightedReduce adds the weight-normalized (by totalW) mean of the
-// collected deltas to flat, fanning the parameter dimension out over at most
-// workers goroutines with agg (len == len(flat)) as the accumulator. The
-// extra goroutines beyond the caller are borrowed from the shared CPU-token
-// budget, so the reduce never oversubscribes cores already claimed by
-// sibling cells; a spent budget degrades to the serial loop.
-//
-// Each shard owns a disjoint index range and accumulates clients in slice
-// order, so every element sees exactly the floating-point operation sequence
-// of the serial client-major loop: the result is bit-identical for any
-// worker count (TestWeightedReduceDeterministic).
-func weightedReduce(flat, agg []float64, collected []Update, totalW float64, workers int) {
-	n := len(flat)
-	reduceRange := func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			agg[j] = 0
-		}
-		for _, u := range collected {
-			w := u.Weight / totalW
-			d := u.Delta
-			for j := lo; j < hi; j++ {
-				agg[j] += w * d[j]
-			}
-		}
-		for j := lo; j < hi; j++ {
-			flat[j] += agg[j]
-		}
-	}
+// reduceFanIn is the streaming reduce's chunk width: how many client deltas
+// stay live between recycle points. Any value yields the same bits (see
+// weightedReduce); 8 keeps the live set tiny while amortizing the per-chunk
+// goroutine barrier.
+const reduceFanIn = 8
+
+// borrowReduceWorkers clamps workers by shard size and the shared CPU-token
+// budget; the caller must Return(workers-1) when done. Never below 1 (the
+// calling goroutine).
+func borrowReduceWorkers(n, workers int) int {
 	if workers > n/minReduceShard {
 		workers = n / minReduceShard
 	}
 	if workers > 1 {
 		workers = 1 + cputok.Default().Borrow(workers-1)
-		defer cputok.Default().Return(workers - 1)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// reduceShards runs f over a disjoint cover of [0, n): the calling goroutine
+// takes the first shard, workers-1 spawned goroutines the rest. Barrier: all
+// shards complete before return.
+func reduceShards(n, workers int, f func(lo, hi int)) {
 	if workers <= 1 {
-		reduceRange(0, n)
+		f(0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -494,11 +666,141 @@ func weightedReduce(flat, agg []float64, collected []Update, totalW float64, wor
 	for w := 1; w < workers; w++ {
 		go func(lo, hi int) {
 			defer wg.Done()
-			reduceRange(lo, hi)
+			f(lo, hi)
 		}(w*n/workers, (w+1)*n/workers)
 	}
-	reduceRange(0, n/workers)
+	f(0, n/workers)
 	wg.Wait()
+}
+
+// weightedReduce adds the weight-normalized (by totalW) mean of the
+// collected deltas to flat, streaming the client dimension through fixed
+// fan-in chunks and fanning the parameter dimension of each chunk out over
+// at most workers goroutines (borrowed from the shared CPU-token budget, so
+// a spent budget degrades to the serial loop). After a chunk's barrier its
+// deltas are dead; when recycle is non-nil each is handed back immediately,
+// bounding the reduce's live delta set to fan-in buffers instead of the
+// whole cohort.
+//
+// Determinism: each shard owns a disjoint index range and accumulates
+// clients in slice order; chunking only inserts barriers into that order
+// without reordering it, so every element sees exactly the floating-point
+// sequence of the serial client-major loop — the result is bit-identical
+// for any worker count and any fan-in (TestWeightedReduceDeterministic).
+func weightedReduce(flat, agg []float64, collected []Update, totalW float64, workers int, recycle func([]float64)) {
+	streamReduce(flat, agg, collected, totalW, workers, reduceFanIn, recycle)
+}
+
+// streamReduce is weightedReduce with an explicit fan-in (test seam).
+func streamReduce(flat, agg []float64, collected []Update, totalW float64, workers, fanIn int, recycle func([]float64)) {
+	n := len(flat)
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	workers = borrowReduceWorkers(n, workers)
+	defer cputok.Default().Return(workers - 1)
+	reduceShards(n, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			agg[j] = 0
+		}
+	})
+	for s := 0; s < len(collected); s += fanIn {
+		e := s + fanIn
+		if e > len(collected) {
+			e = len(collected)
+		}
+		chunk := collected[s:e]
+		reduceShards(n, workers, func(lo, hi int) {
+			for _, u := range chunk {
+				w := u.Weight / totalW
+				d := u.Delta
+				for j := lo; j < hi; j++ {
+					agg[j] += w * d[j]
+				}
+			}
+		})
+		if recycle != nil {
+			for i := range chunk {
+				recycle(chunk[i].Delta)
+			}
+		}
+	}
+	reduceShards(n, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			flat[j] += agg[j]
+		}
+	})
+}
+
+// applyFold finishes the online fold: flat[j] += agg[j]/totalW, sharded over
+// borrowed workers. One add and one divide per element regardless of
+// sharding, so the result matches the single-goroutine loop bit for bit.
+func applyFold(flat, agg []float64, totalW float64, workers int) {
+	n := len(flat)
+	workers = borrowReduceWorkers(n, workers)
+	defer cputok.Default().Return(workers - 1)
+	reduceShards(n, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			flat[j] += agg[j] / totalW
+		}
+	})
+}
+
+// onlineFold streams completed updates into the aggregation accumulator in
+// participant-index order while the client phase is still running. Whichever
+// worker closes the gap at the in-order frontier folds every newly
+// contiguous update under the mutex, so the floating-point sequence — and
+// each update's validation verdict — is identical at any worker count.
+// Folded deltas recycle immediately: peak delta memory is the out-of-order
+// completion window (O(workers)), not the cohort.
+//
+// The fold accumulates unnormalized (agg[j] += w·d[j]) because totalW is
+// unknown until the last update lands; applyFold divides once at the end.
+// That changes the per-element operation sequence relative to the offline
+// reduce's (w/totalW)·d[j], so online and offline rounds are each
+// self-deterministic but not bit-identical to each other — the runner picks
+// the path from the config, never per-round.
+type onlineFold struct {
+	agg      []float64
+	updates  []Update
+	done     []bool
+	next     int
+	validate bool
+	maxNorm  float64
+	pool     *deltaPool
+
+	mu     sync.Mutex
+	totalW float64
+}
+
+// complete marks update i finished and folds the in-order frontier. Callers
+// must have published updates[i] before calling (the runner's worker loop
+// writes the slot, then calls complete; the fold's mutex orders the reads).
+func (f *onlineFold) complete(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done[i] = true
+	for f.next < len(f.updates) && f.done[f.next] {
+		u := &f.updates[f.next]
+		f.next++
+		if u.Dropped {
+			continue // its partial delta is discarded by the cleanup loop
+		}
+		if f.validate && !deltaValid(u.Delta, f.maxNorm) {
+			u.Quarantined = true
+			f.pool.put(u.Delta)
+			u.Delta = nil
+			continue
+		}
+		w := u.Weight
+		d := u.Delta
+		for j := range f.agg {
+			f.agg[j] += w * d[j]
+		}
+		f.totalW += w
+		f.pool.put(u.Delta)
+		u.Delta = nil
+	}
 }
 
 // Evaluate computes the model's accuracy on ds, in batches of batch samples

@@ -133,9 +133,11 @@ type heapMonitor struct {
 	warmup   int
 	maxSlope float64 // bytes per round
 	minRise  float64 // bytes, absolute floor before the slope can fire
+	maxAbs   float64 // bytes, absolute live-heap cap (0 = no cap)
 	rounds   []float64
 	heaps    []float64
 	fired    bool
+	absFired bool
 }
 
 func (m *heapMonitor) Name() string { return "heap" }
@@ -143,6 +145,23 @@ func (m *heapMonitor) Name() string { return "heap" }
 func (m *heapMonitor) PhaseEnd(p PhaseResult) []Violation {
 	m.rounds = append(m.rounds, float64(p.StartRound+p.Rounds))
 	m.heaps = append(m.heaps, float64(p.HeapBytes))
+	// The absolute cap is the O(cohort) memory invariant: a virtual-fleet
+	// soak sets it to a cohort-proportional bound, so any phase whose live
+	// heap scales with the fleet instead of the cohort fires immediately —
+	// no slope fit, no warmup (slot pools are counted in the bound).
+	if m.maxAbs > 0 && !m.absFired && float64(p.HeapBytes) > m.maxAbs {
+		m.absFired = true
+		return []Violation{{
+			Monitor:    m.Name(),
+			Phase:      p.Name,
+			PhaseIndex: p.Index,
+			Round:      p.StartRound + p.Rounds - 1,
+			Seed:       p.Seed,
+			Spec:       p.Spec,
+			Detail: fmt.Sprintf("live heap %d bytes exceeds the absolute cap %.0f bytes",
+				p.HeapBytes, m.maxAbs),
+		}}
+	}
 	if m.fired || len(m.rounds) < m.warmup+3 {
 		return nil
 	}

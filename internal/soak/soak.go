@@ -53,6 +53,11 @@ type Config struct {
 	// fire (default 16 MiB).
 	MaxHeapSlope float64
 	MinHeapRise  float64
+	// MaxHeapBytes, when positive, is an absolute live-heap cap checked at
+	// every phase boundary with no warmup — the O(cohort) memory invariant
+	// for virtual-fleet soaks (set it proportional to the cohort, not the
+	// fleet). Zero disables the cap.
+	MaxHeapBytes float64
 	// Telemetry, when non-nil, receives every phase's live metrics plus the
 	// fedca_soak_* metric set, and feeds the HTTP mux (NewMux).
 	Telemetry *fedca.Telemetry
@@ -168,7 +173,7 @@ func New(cfg Config) (*Runner, error) {
 	r.monitors = append(r.monitors,
 		&tokenMonitor{},
 		ratesMonitor{},
-		&heapMonitor{warmup: cfg.HeapWarmup, maxSlope: cfg.MaxHeapSlope, minRise: cfg.MinHeapRise},
+		&heapMonitor{warmup: cfg.HeapWarmup, maxSlope: cfg.MaxHeapSlope, minRise: cfg.MinHeapRise, maxAbs: cfg.MaxHeapBytes},
 	)
 	if cfg.RecheckEvery > 0 {
 		r.monitors = append(r.monitors, &determinismMonitor{

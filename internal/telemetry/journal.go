@@ -33,6 +33,7 @@ import (
 const (
 	EvRound       = "round"           // round completed and aggregated
 	EvRoundSkip   = "round-skipped"   // round closed below quorum, model unchanged
+	EvCohort      = "cohort"          // one round's cohort lifecycle: sizes, slot pool, upload bytes
 	EvQuarantine  = "quarantine"      // one update rejected by validation
 	EvDropout     = "dropout"         // one client vanished mid-round
 	EvAnchorAbort = "anchor-abort"    // a half-recorded anchor profile was discarded
@@ -183,6 +184,21 @@ func (j *Journal) RoundDone(round int, vtime float64, collected, quarantined, dr
 	j.record(Event{
 		Type: typ, Round: round, Client: -1, VTime: vtime,
 		Detail: fmt.Sprintf("collected=%d quarantined=%d dropped=%d", collected, quarantined, dropped),
+	})
+}
+
+// Cohort records one round's cohort lifecycle: the cohort size drawn from
+// the fleet, the fleet's cumulative slot-pool counters (materializations and
+// recycles; zero for static fleets, which never pool) and the round's total
+// upload bytes.
+func (j *Journal) Cohort(round, fleet, cohort int, materialized, recycled int64, uploadBytes float64) {
+	if j == nil {
+		return
+	}
+	j.record(Event{
+		Type: EvCohort, Round: round, Client: -1,
+		Detail: fmt.Sprintf("fleet=%d cohort=%d materialized=%d recycled=%d upload_bytes=%.0f",
+			fleet, cohort, materialized, recycled, uploadBytes),
 	})
 }
 

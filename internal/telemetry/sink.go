@@ -18,6 +18,8 @@ type Sink struct {
 	Round         *Gauge
 	VirtualTime   *Gauge
 	Accuracy      *Gauge
+	FleetSize     *Gauge
+	CohortSize    *Gauge
 
 	// Scheme behaviour (incremented by internal/core).
 	EarlyStops   *Counter
@@ -66,6 +68,8 @@ func New() *Sink {
 		Round:         reg.Gauge("fedca_round", "Number of completed rounds (current round index + 1)."),
 		VirtualTime:   reg.Gauge("fedca_virtual_time_seconds", "Current virtual sim time."),
 		Accuracy:      reg.Gauge("fedca_accuracy", "Global model test accuracy after the last aggregation."),
+		FleetSize:     reg.Gauge("fedca_fleet_size", "Client population of the running federation's fleet."),
+		CohortSize:    reg.Gauge("fedca_cohort_size", "Clients materialized into the last round's cohort."),
 
 		EarlyStops:   reg.Counter("fedca_early_stops_total", "Client-rounds ended by the utility-guided early stop."),
 		FullRounds:   reg.Counter("fedca_full_rounds_total", "Client-rounds that ran to the full iteration budget."),
@@ -183,6 +187,16 @@ func (s *Sink) RoundDone(round int, start, end, accuracy float64, collected, qua
 		name = "round (skipped)"
 	}
 	s.tracer.Span(ServerTrack, name, "round", start, end, args)
+}
+
+// ObserveCohort records the fleet population and the size of the cohort a
+// round materialized from it (equal for static fleets).
+func (s *Sink) ObserveCohort(fleet, cohort int) {
+	if s == nil {
+		return
+	}
+	s.FleetSize.Set(float64(fleet))
+	s.CohortSize.Set(float64(cohort))
 }
 
 // UpObserver returns the observer to install on a client's uplink.

@@ -160,18 +160,26 @@ func (m *SpeedModel) ExpectedFactor() float64 {
 	return m.Static * ((1-slowFrac)*1 + slowFrac*meanSlowdown)
 }
 
-// NewFleet builds n speed models: static factors are lognormal with the
-// configured sigma (clamped), dynamic traces are forked per client from r.
-func NewFleet(n int, cfg Config, r *rng.RNG) []*SpeedModel {
+// NewClientSpeed derives client i's speed model from the fleet RNG: the
+// static factor is lognormal with the configured sigma (clamped) and the
+// dynamic trace gets its own fork. A pure function of (r's state, i) —
+// forking never advances r — so virtual fleets can materialize any client's
+// model on demand, in any order, bit-identical to a NewFleet build.
+func NewClientSpeed(i int, cfg Config, r *rng.RNG) *SpeedModel {
 	cfg.applyDefaults()
+	cr := r.Fork("client-speed", i)
+	static := 1.0
+	if cfg.HeterogeneitySigma > 0 {
+		static = clampExpNormal(cr, cfg.HeterogeneitySigma, cfg.StaticClampLo, cfg.StaticClampHi)
+	}
+	return NewSpeedModel(static, cfg, cr.Fork("dyn"))
+}
+
+// NewFleet builds n speed models via NewClientSpeed.
+func NewFleet(n int, cfg Config, r *rng.RNG) []*SpeedModel {
 	fleet := make([]*SpeedModel, n)
 	for i := 0; i < n; i++ {
-		cr := r.Fork("client-speed", i)
-		static := 1.0
-		if cfg.HeterogeneitySigma > 0 {
-			static = clampExpNormal(cr, cfg.HeterogeneitySigma, cfg.StaticClampLo, cfg.StaticClampHi)
-		}
-		fleet[i] = NewSpeedModel(static, cfg, cr.Fork("dyn"))
+		fleet[i] = NewClientSpeed(i, cfg, r)
 	}
 	return fleet
 }
