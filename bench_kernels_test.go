@@ -1,10 +1,13 @@
 // Per-kernel benchmark suite for the math floor (DESIGN.md §11): every GEMM
 // orientation the models use, at the exact shapes the tiny-scale fig7/table1
-// workloads hit, each measured against tensor.MatMulRef — the textbook
-// ascending-k reference the blocked kernels are bit-identical to. After each
-// benchmark family runs, the accumulated results are written to
-// BENCH_kernels.json (override with FEDCA_BENCH_KERNELS_JSON) so kernel
-// regressions show up as a speedup-ratio trajectory, not a vibe.
+// workloads hit, each measured at both dtypes against tensor.MatMulRef — the
+// textbook ascending-k reference the blocked kernels are bit-identical to.
+// Each float32 entry also records its speedup over the float64 blocked kernel
+// at the same shape: the SIMD-width-aware f32 path must actually buy
+// throughput, not just narrower storage. After each benchmark family runs,
+// the accumulated results are written to BENCH_kernels.json (override with
+// FEDCA_BENCH_KERNELS_JSON) so kernel regressions show up as a speedup-ratio
+// trajectory, not a vibe.
 //
 //	go test -bench 'BenchmarkGEMM|BenchmarkConv' -benchtime=100x .
 package fedca_test
@@ -56,6 +59,11 @@ type kernelReport struct {
 	BlockedSecPerOp float64 `json:"blocked_sec_per_op"`
 	RefSecPerOp     float64 `json:"ref_sec_per_op,omitempty"`
 	Speedup         float64 `json:"speedup_vs_ref,omitempty"`
+	// SpeedupVsF64 is set on float32 entries only: the same shape's float64
+	// blocked time divided by this entry's. CI pins it ≥ 1.3 at the GEMM
+	// shapes — the floor the mixed-precision path must hold to be worth its
+	// different training trajectory.
+	SpeedupVsF64 float64 `json:"speedup_vs_f64,omitempty"`
 }
 
 var (
@@ -63,18 +71,41 @@ var (
 	kernelReports  = map[string]*kernelReport{}
 )
 
-func fillRand(r *rand.Rand, t *tensor.Tensor) {
+func fillRandOf[F tensor.Float](r *rand.Rand, t *tensor.TensorOf[F]) {
 	d := t.Data()
 	for i := range d {
-		d[i] = r.NormFloat64()
+		d[i] = F(r.NormFloat64())
 	}
+}
+
+func dtypeName[F tensor.Float]() string {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return "f32"
+	}
+	return "f64"
+}
+
+// recordKernel stores one entry; for an f32 entry it back-references the f64
+// entry of the same family/shape to compute the cross-dtype speedup, so the
+// f64 benchmark of a shape must run first (the benchmark loops guarantee it).
+func recordKernel(family, dtype, shape string, rep *kernelReport) {
+	kernelReportMu.Lock()
+	defer kernelReportMu.Unlock()
+	if dtype == "f32" && rep.BlockedSecPerOp > 0 {
+		if base, ok := kernelReports[family+"/f64/"+shape]; ok && base.BlockedSecPerOp > 0 {
+			rep.SpeedupVsF64 = base.BlockedSecPerOp / rep.BlockedSecPerOp
+		}
+	}
+	kernelReports[family+"/"+dtype+"/"+shape] = rep
 }
 
 // benchGEMMPair times the blocked kernel and the reference kernel on the same
 // operands and records the pair (plus their ratio) in the kernel report.
-func benchGEMMPair(b *testing.B, family string, s gemmShape, transA, transB bool,
-	blocked func(dst, a, bt *tensor.Tensor)) {
-	b.Run(s.name, func(b *testing.B) {
+func benchGEMMPair[F tensor.Float](b *testing.B, family string, s gemmShape, transA, transB bool,
+	blocked func(dst, a, bt *tensor.TensorOf[F])) {
+	dtype := dtypeName[F]()
+	b.Run(dtype+"/"+s.name, func(b *testing.B) {
 		r := rand.New(rand.NewSource(99))
 		aRows, aCols := s.m, s.k
 		if transA {
@@ -84,12 +115,12 @@ func benchGEMMPair(b *testing.B, family string, s gemmShape, transA, transB bool
 		if transB {
 			bRows, bCols = s.n, s.k
 		}
-		a := tensor.New(aRows, aCols)
-		bt := tensor.New(bRows, bCols)
-		fillRand(r, a)
-		fillRand(r, bt)
-		dst := tensor.New(s.m, s.n)
-		ref := tensor.New(s.m, s.n)
+		a := tensor.NewOf[F](aRows, aCols)
+		bt := tensor.NewOf[F](bRows, bCols)
+		fillRandOf(r, a)
+		fillRandOf(r, bt)
+		dst := tensor.NewOf[F](s.m, s.n)
+		ref := tensor.NewOf[F](s.m, s.n)
 
 		var blockedSec, refSec float64
 		b.Run("blocked", func(b *testing.B) {
@@ -114,90 +145,101 @@ func benchGEMMPair(b *testing.B, family string, s gemmShape, transA, transB bool
 			rep.Speedup = refSec / blockedSec
 			b.ReportMetric(rep.Speedup, "speedup-vs-ref")
 		}
-		kernelReportMu.Lock()
-		kernelReports[family+"/"+s.name] = rep
-		kernelReportMu.Unlock()
+		recordKernel(family, dtype, s.name, rep)
 	})
 }
 
 func BenchmarkGEMMNN(b *testing.B) {
 	for _, s := range gemmShapesNN {
-		benchGEMMPair(b, "NN", s, false, false, tensor.MatMul)
+		benchGEMMPair[float64](b, "NN", s, false, false, tensor.MatMul)
+		benchGEMMPair[float32](b, "NN", s, false, false, tensor.MatMul)
 	}
 	writeKernelBenchJSON(b)
 }
 
 func BenchmarkGEMMTN(b *testing.B) {
 	for _, s := range gemmShapesTN {
-		benchGEMMPair(b, "TN", s, true, false, tensor.MatMulTransA)
+		benchGEMMPair[float64](b, "TN", s, true, false, tensor.MatMulTransA)
+		benchGEMMPair[float32](b, "TN", s, true, false, tensor.MatMulTransA)
 	}
 	writeKernelBenchJSON(b)
 }
 
 func BenchmarkGEMMNT(b *testing.B) {
 	for _, s := range gemmShapesNT {
-		benchGEMMPair(b, "NT", s, false, true, tensor.MatMulTransB)
+		benchGEMMPair[float64](b, "NT", s, false, true, tensor.MatMulTransB)
+		benchGEMMPair[float32](b, "NT", s, false, true, tensor.MatMulTransB)
 	}
 	writeKernelBenchJSON(b)
 }
 
 // benchConvs builds the tiny-scale CNN's two convolution stages with a
 // batch-16 input, matching what every fig7/table1 training step executes.
-func benchConvs() (conv1, conv2 *nn.Conv2D, x1, x2 *tensor.Tensor) {
+func benchConvs[F tensor.Float]() (conv1, conv2 *nn.Conv2DOf[F], x1, x2 *tensor.TensorOf[F]) {
 	rr := rng.New(7)
 	g1 := tensor.NewConvGeom(3, 16, 16, 5, 5, 1, 2)
-	conv1 = nn.NewConv2D("conv1", g1, 6, rr)
+	conv1 = nn.NewConv2DOf[F]("conv1", g1, 6, rr)
 	g2 := tensor.NewConvGeom(6, 8, 8, 5, 5, 1, 2)
-	conv2 = nn.NewConv2D("conv2", g2, 16, rr)
+	conv2 = nn.NewConv2DOf[F]("conv2", g2, 16, rr)
 	r := rand.New(rand.NewSource(5))
-	x1 = tensor.New(16, conv1.InDim())
-	x2 = tensor.New(16, conv2.InDim())
-	fillRand(r, x1)
-	fillRand(r, x2)
+	x1 = tensor.NewOf[F](16, conv1.InDim())
+	x2 = tensor.NewOf[F](16, conv2.InDim())
+	fillRandOf(r, x1)
+	fillRandOf(r, x2)
 	return
 }
 
-func BenchmarkConvForward(b *testing.B) {
-	conv1, conv2, x1, x2 := benchConvs()
+func benchConvForward[F tensor.Float](b *testing.B) {
+	conv1, conv2, x1, x2 := benchConvs[F]()
+	dtype := dtypeName[F]()
 	for _, bc := range []struct {
 		name string
-		c    *nn.Conv2D
-		x    *tensor.Tensor
+		c    *nn.Conv2DOf[F]
+		x    *tensor.TensorOf[F]
 	}{{"conv1", conv1, x1}, {"conv2", conv2, x2}} {
-		b.Run(bc.name, func(b *testing.B) {
+		b.Run(dtype+"/"+bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				bc.c.Forward(bc.x, false)
 			}
-			kernelReportMu.Lock()
-			kernelReports["ConvForward/"+bc.name] = &kernelReport{BlockedSecPerOp: b.Elapsed().Seconds() / float64(b.N)}
-			kernelReportMu.Unlock()
+			recordKernel("ConvForward", dtype, bc.name,
+				&kernelReport{BlockedSecPerOp: b.Elapsed().Seconds() / float64(b.N)})
 		})
 	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	benchConvForward[float64](b)
+	benchConvForward[float32](b)
 	writeKernelBenchJSON(b)
 }
 
-// BenchmarkConvBackward times the full train step of each conv layer
-// (forward in train mode + backward): Backward consumes the forward
-// activations, so the pair is the unit the training loop actually pays for.
-func BenchmarkConvBackward(b *testing.B) {
-	conv1, conv2, x1, x2 := benchConvs()
+// benchConvBackward times the full train step of each conv layer (forward in
+// train mode + backward): Backward consumes the forward activations, so the
+// pair is the unit the training loop actually pays for.
+func benchConvBackward[F tensor.Float](b *testing.B) {
+	conv1, conv2, x1, x2 := benchConvs[F]()
+	dtype := dtypeName[F]()
 	for _, bc := range []struct {
 		name string
-		c    *nn.Conv2D
-		x    *tensor.Tensor
+		c    *nn.Conv2DOf[F]
+		x    *tensor.TensorOf[F]
 	}{{"conv1", conv1, x1}, {"conv2", conv2, x2}} {
-		b.Run(bc.name, func(b *testing.B) {
-			dout := tensor.New(16, bc.c.OutDim())
-			fillRand(rand.New(rand.NewSource(6)), dout)
+		b.Run(dtype+"/"+bc.name, func(b *testing.B) {
+			dout := tensor.NewOf[F](16, bc.c.OutDim())
+			fillRandOf(rand.New(rand.NewSource(6)), dout)
 			for i := 0; i < b.N; i++ {
 				bc.c.Forward(bc.x, true)
 				bc.c.Backward(dout)
 			}
-			kernelReportMu.Lock()
-			kernelReports["ConvFwdBwd/"+bc.name] = &kernelReport{BlockedSecPerOp: b.Elapsed().Seconds() / float64(b.N)}
-			kernelReportMu.Unlock()
+			recordKernel("ConvFwdBwd", dtype, bc.name,
+				&kernelReport{BlockedSecPerOp: b.Elapsed().Seconds() / float64(b.N)})
 		})
 	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	benchConvBackward[float64](b)
+	benchConvBackward[float32](b)
 	writeKernelBenchJSON(b)
 }
 

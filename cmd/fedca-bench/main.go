@@ -7,6 +7,7 @@
 //	fedca-bench -exp all -scale tiny   # everything, smallest instance
 //	fedca-bench -exp fig7 -scale full -seed 7 -series
 //	fedca-bench -exp all -cache ~/.cache/fedca-cells   # warm across runs
+//	fedca-bench -exp fig7 -scale tiny -dtype f32       # float32 client compute
 //
 // Scales: tiny (minutes), small (default), full (paper-sized: 128 clients,
 // K = 125 — expect hours of CPU).
@@ -38,6 +39,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(), "max concurrently computing experiment cells (1 = serial)")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty disables)")
+	dtype := flag.String("dtype", "f64", "client training precision: f64 (bit-reproducible default) | f32 (float32 workers; master weights and aggregation stay float64)")
 	metricsOut := flag.String("metrics-out", "", "write a telemetry JSON snapshot (executor counters included) to this file on exit")
 	flag.Parse()
 
@@ -50,6 +52,16 @@ func main() {
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch *dtype {
+	case "", "f64":
+		// float64 is the zero value of Scale.DType; leave it empty so the
+		// cell keys match runs that predate the flag.
+	case "f32":
+		scale.DType = "f32"
+	default:
+		fmt.Fprintf(os.Stderr, "fedca-bench: -dtype must be f64 or f32, got %q\n", *dtype)
 		os.Exit(2)
 	}
 

@@ -46,6 +46,7 @@ func main() {
 	aggFrac := flag.Float64("aggfrac", 0, "override the workload's partial-aggregation cut in (0,1]; 1.0 enables the streaming online fold")
 	rounds := flag.Int("rounds", 0, "override round count")
 	seed := flag.Uint64("seed", 42, "master seed")
+	dtype := flag.String("dtype", "f64", "client training precision: f64 (bit-reproducible default) | f32 (float32 workers; master weights and aggregation stay float64)")
 	compressSpec := flag.String("compress", "none", "upload compressor: none | qsgd<levels> | topk<percent>")
 	dropout := flag.Float64("dropout", 0, "per-round client dropout probability")
 	chaosSpec := flag.String("chaos", "none", `fault-injection spec, e.g. "drop=0.1,slow=0.3,degrade=0.2,outage=0.05,xfail=0.02,corrupt=0.01" (deterministic per seed)`)
@@ -92,6 +93,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	w.FL.DType = *dtype
 	comp, err := compress.ByName(*compressSpec)
 	if err != nil {
 		fail(err)
@@ -214,6 +216,9 @@ func main() {
 			Model: *model, Scheme: *scheme, Clients: scale.Clients,
 			K: w.FL.LocalIters, Seed: *seed, Alpha: w.Alpha,
 			Quorum: *minQuorum, MaxNorm: *maxNorm,
+		}
+		if *dtype != "" && *dtype != "f64" {
+			hdr.Dtype = *dtype
 		}
 		if ccfg.Enabled() {
 			hdr.Chaos = ccfg.Spec()

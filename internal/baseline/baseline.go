@@ -9,6 +9,7 @@ import (
 
 	"fedca/internal/fl"
 	"fedca/internal/nn"
+	"fedca/internal/tensor"
 )
 
 // FedAvg is vanilla federated averaging: every client runs the full K local
@@ -56,12 +57,23 @@ type proxController struct {
 
 // ModifyGrad adds μ(w − w_global) to every parameter gradient.
 func (p *proxController) ModifyGrad(params []*nn.Param, globalFlat []float64) {
+	proxModify(p.mu, params, globalFlat)
+}
+
+// ModifyGrad32 is the float32-worker form of the proximal correction. The
+// reference point w_global stays float64; the difference is formed at full
+// precision and narrowed once per element.
+func (p *proxController) ModifyGrad32(params []*nn.ParamOf[float32], globalFlat []float64) {
+	proxModify(p.mu, params, globalFlat)
+}
+
+func proxModify[F tensor.Float](mu float64, params []*nn.ParamOf[F], globalFlat []float64) {
 	off := 0
 	for _, par := range params {
 		w := par.Value.Data()
 		g := par.Grad.Data()
 		for j := range w {
-			g[j] += p.mu * (w[j] - globalFlat[off+j])
+			g[j] += F(mu * (float64(w[j]) - globalFlat[off+j]))
 		}
 		off += len(w)
 	}

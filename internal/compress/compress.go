@@ -27,6 +27,15 @@ type Compressor interface {
 	Compress(vec []float64) (approx []float64, bytes float64)
 }
 
+// IntoCompressor is implemented by compressors that can write the decoded
+// approximation into a caller-supplied destination, avoiding the per-call
+// allocation of Compress. The FL engine compresses every client layer range
+// every round; with a destination buffer the steady-state round loop stays
+// allocation-free. dst must have len(vec); vec and dst may alias.
+type IntoCompressor interface {
+	CompressInto(vec, dst []float64) (bytes float64)
+}
+
 // None is the identity compressor: full-precision fp32 transfer.
 type None struct{}
 
@@ -36,8 +45,13 @@ func (None) Name() string { return "none" }
 // Compress returns the vector unchanged at 4 bytes per element.
 func (None) Compress(vec []float64) ([]float64, float64) {
 	out := make([]float64, len(vec))
-	copy(out, vec)
-	return out, 4 * float64(len(vec))
+	return out, None{}.CompressInto(vec, out)
+}
+
+// CompressInto copies vec into dst at 4 bytes per element.
+func (None) CompressInto(vec, dst []float64) float64 {
+	copy(dst, vec)
+	return 4 * float64(len(vec))
 }
 
 // QSGD quantizes each element to one of Levels magnitude buckets of the
@@ -57,10 +71,15 @@ func (q QSGD) BitsPerElement() float64 {
 
 // Compress quantizes vec.
 func (q QSGD) Compress(vec []float64) ([]float64, float64) {
+	out := make([]float64, len(vec))
+	return out, q.CompressInto(vec, out)
+}
+
+// CompressInto quantizes vec into dst.
+func (q QSGD) CompressInto(vec, dst []float64) float64 {
 	if q.Levels < 1 {
 		panic("compress: QSGD needs at least 1 level")
 	}
-	out := make([]float64, len(vec))
 	scale := 0.0
 	for _, v := range vec {
 		if a := math.Abs(v); a > scale {
@@ -69,7 +88,10 @@ func (q QSGD) Compress(vec []float64) ([]float64, float64) {
 	}
 	bytes := 4 + q.BitsPerElement()*float64(len(vec))/8
 	if scale == 0 {
-		return out, bytes
+		for i := range dst[:len(vec)] {
+			dst[i] = 0
+		}
+		return bytes
 	}
 	l := float64(q.Levels)
 	for i, v := range vec {
@@ -79,9 +101,9 @@ func (q QSGD) Compress(vec []float64) ([]float64, float64) {
 		if v < 0 {
 			val = -val
 		}
-		out[i] = val
+		dst[i] = val
 	}
-	return out, bytes
+	return bytes
 }
 
 // TopK keeps the Frac·len largest-magnitude elements (at least 1) and zeroes
@@ -96,6 +118,13 @@ func (t TopK) Name() string { return fmt.Sprintf("top%g", t.Frac) }
 
 // Compress sparsifies vec.
 func (t TopK) Compress(vec []float64) ([]float64, float64) {
+	out := make([]float64, len(vec))
+	return out, t.CompressInto(vec, out)
+}
+
+// CompressInto sparsifies vec into dst. The index scratch for the selection
+// sort still allocates; only the output vector is caller-supplied.
+func (t TopK) CompressInto(vec, dst []float64) float64 {
 	if t.Frac <= 0 || t.Frac > 1 {
 		panic("compress: TopK fraction must be in (0, 1]")
 	}
@@ -106,7 +135,6 @@ func (t TopK) Compress(vec []float64) ([]float64, float64) {
 	if k > len(vec) {
 		k = len(vec)
 	}
-	out := make([]float64, len(vec))
 	idx := make([]int, len(vec))
 	for i := range idx {
 		idx[i] = i
@@ -120,10 +148,18 @@ func (t TopK) Compress(vec []float64) ([]float64, float64) {
 		}
 		return idx[a] < idx[b]
 	})
-	for _, i := range idx[:k] {
-		out[i] = vec[i]
+	// Gather the survivors before zeroing dst: vec and dst may alias.
+	kept := make([]float64, k)
+	for j, i := range idx[:k] {
+		kept[j] = vec[i]
 	}
-	return out, 8 * float64(k)
+	for i := range dst[:len(vec)] {
+		dst[i] = 0
+	}
+	for j, i := range idx[:k] {
+		dst[i] = kept[j]
+	}
+	return 8 * float64(k)
 }
 
 // ByName constructs a compressor from a spec string: "none", "qsgd<levels>"

@@ -1,0 +1,116 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func randVec(n int, seed uint64) []float64 {
+	v := make([]float64, n)
+	s := seed
+	for i := range v {
+		// SplitMix64: cheap, deterministic, no test-only dependencies.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		v[i] = float64(int64(z))/float64(math.MaxInt64) - 0.5
+	}
+	return v
+}
+
+// TestCompressIntoMatchesCompress pins CompressInto to the allocating path it
+// replaces on the hot loop: identical approximation, identical byte cost, for
+// every compressor — including when dst aliases vec, the FL engine's usage.
+func TestCompressIntoMatchesCompress(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    Compressor
+	}{
+		{"none", None{}},
+		{"qsgd7", QSGD{Levels: 7}},
+		{"qsgd2", QSGD{Levels: 2}},
+		{"topk0.3", TopK{Frac: 0.3}},
+		{"topk0.001", TopK{Frac: 0.001}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ic, ok := tc.c.(IntoCompressor)
+			if !ok {
+				t.Fatalf("%T does not implement IntoCompressor", tc.c)
+			}
+			vec := randVec(257, 11)
+			want, wantBytes := tc.c.Compress(vec)
+
+			dst := make([]float64, len(vec))
+			gotBytes := ic.CompressInto(vec, dst)
+			if gotBytes != wantBytes {
+				t.Fatalf("bytes = %v, want %v", gotBytes, wantBytes)
+			}
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+				}
+			}
+
+			// Aliased: compress in place, as the client round does.
+			alias := append([]float64(nil), vec...)
+			aliasBytes := ic.CompressInto(alias, alias)
+			if aliasBytes != wantBytes {
+				t.Fatalf("aliased bytes = %v, want %v", aliasBytes, wantBytes)
+			}
+			for i := range alias {
+				if alias[i] != want[i] {
+					t.Fatalf("aliased dst[%d] = %v, want %v", i, alias[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCompressIntoZeroVector pins the scale==0 edge: QSGD must zero a dirty
+// destination, not leave stale values behind.
+func TestCompressIntoZeroVector(t *testing.T) {
+	vec := []float64{0, 0, 0}
+	dst := []float64{7, 8, 9}
+	QSGD{Levels: 7}.CompressInto(vec, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("dst[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// BenchmarkCompress measures both paths at model-delta sizes (the tiny-scale
+// CNN flattens to ~62k parameters, the LSTM to ~51k): CompressInto exists so
+// the per-client compression of every round reuses the round buffer instead
+// of allocating a fresh vector per layer range.
+func BenchmarkCompress(b *testing.B) {
+	for _, size := range []int{62006, 51044} {
+		vec := randVec(size, 3)
+		dst := make([]float64, size)
+		for _, tc := range []struct {
+			name string
+			c    Compressor
+		}{
+			{"none", None{}},
+			{"qsgd7", QSGD{Levels: 7}},
+			{"topk0.3", TopK{Frac: 0.3}},
+		} {
+			ic := tc.c.(IntoCompressor)
+			b.Run(fmt.Sprintf("%s/n%d/alloc", tc.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tc.c.Compress(vec)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n%d/into", tc.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ic.CompressInto(vec, dst)
+				}
+			})
+		}
+	}
+}

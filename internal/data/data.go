@@ -351,13 +351,31 @@ func (l *Loader) n() int {
 	return l.ds.N()
 }
 
+// reshuffle redraws the epoch order in place. The identity fill + Fisher–
+// Yates loop consumes exactly the RNG draws of rng.Perm, so switching to the
+// in-place form changed no batch sequence; it only stopped allocating a fresh
+// permutation every epoch (the steady-state training loop is allocation-free).
 func (l *Loader) reshuffle() {
-	l.order = l.r.Perm(l.n())
+	n := l.n()
+	if cap(l.order) < n {
+		l.order = make([]int, n)
+	}
+	l.order = l.order[:n]
+	for i := range l.order {
+		l.order[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := l.r.Intn(i + 1)
+		l.order[i], l.order[j] = l.order[j], l.order[i]
+	}
 	l.cursor = 0
 }
 
 // BatchSize returns the effective batch size.
 func (l *Loader) BatchSize() int { return l.batchSize }
+
+// Dim returns the per-sample feature count of the underlying dataset.
+func (l *Loader) Dim() int { return l.ds.Dim() }
 
 // Next returns the next mini-batch, wrapping (and reshuffling) at epoch end.
 func (l *Loader) Next() (*tensor.Tensor, []int) {
@@ -378,6 +396,37 @@ func (l *Loader) Next() (*tensor.Tensor, []int) {
 	}
 	l.cursor += l.batchSize
 	return x, y
+}
+
+// NextInto is Next with caller-supplied destinations: it fills x (length
+// BatchSize·Dim, typically arena-allocated) and y (length BatchSize) with the
+// next mini-batch instead of allocating fresh buffers, advancing the loader
+// exactly as Next would — same RNG draws, same sample order. The generic
+// element type is the narrowing point of the mixed-precision input path: a
+// float32 batch is the element-wise rounding of the float64 batch the same
+// loader state would produce.
+func NextInto[F tensor.Float](l *Loader, x []F, y []int) {
+	if l.cursor+l.batchSize > len(l.order) {
+		l.reshuffle()
+	}
+	dim := l.ds.Dim()
+	if len(x) != l.batchSize*dim || len(y) != l.batchSize {
+		panic(fmt.Sprintf("data: NextInto dst sized %d/%d, want %d/%d", len(x), len(y), l.batchSize*dim, l.batchSize))
+	}
+	sd := l.ds.X.Data()
+	for i := 0; i < l.batchSize; i++ {
+		j := l.order[l.cursor+i]
+		if l.view != nil {
+			j = l.view[j]
+		}
+		row := sd[j*dim : (j+1)*dim]
+		dst := x[i*dim : (i+1)*dim]
+		for k, v := range row {
+			dst[k] = F(v)
+		}
+		y[i] = l.ds.Y[j]
+	}
+	l.cursor += l.batchSize
 }
 
 // IterationsPerEpoch returns how many batches one pass over the data yields.

@@ -1,0 +1,94 @@
+package data
+
+import (
+	"testing"
+
+	"fedca/internal/rng"
+)
+
+// TestNextIntoMatchesNext pins the contract NextInto was introduced with
+// (steady-state zero-alloc batch loading): it must advance the loader exactly
+// as Next does — same RNG draws, same sample order, same values — across
+// epoch boundaries where the reshuffle path runs.
+func TestNextIntoMatchesNext(t *testing.T) {
+	spec := ImageSpec{Classes: 3, Channels: 1, Height: 6, Width: 6, Noise: 1}
+	gen := NewImageGenerator(spec, rng.New(40))
+	ds := gen.Generate(25, rng.New(41))
+
+	const batch = 7 // 25 % 7 != 0: batches straddle reshuffles
+	la := NewLoader(ds, batch, rng.New(42))
+	lb := NewLoader(ds, batch, rng.New(42))
+	dim := ds.Dim()
+	x := make([]float64, batch*dim)
+	y := make([]int, batch)
+	for it := 0; it < 12; it++ {
+		wantX, wantY := la.Next()
+		NextInto(lb, x, y)
+		for i := range y {
+			if y[i] != wantY[i] {
+				t.Fatalf("iter %d: label %d = %d, want %d", it, i, y[i], wantY[i])
+			}
+		}
+		wd := wantX.Data()
+		for i := range x {
+			if x[i] != wd[i] {
+				t.Fatalf("iter %d: x[%d] = %v, want %v", it, i, x[i], wd[i])
+			}
+		}
+	}
+}
+
+// TestNextIntoFloat32Narrows pins the mixed-precision input contract: the
+// float32 batch is the element-wise rounding of the float64 batch the same
+// loader state would produce, with identical labels.
+func TestNextIntoFloat32Narrows(t *testing.T) {
+	spec := ImageSpec{Classes: 3, Channels: 1, Height: 6, Width: 6, Noise: 1}
+	gen := NewImageGenerator(spec, rng.New(40))
+	ds := gen.Generate(20, rng.New(41))
+
+	const batch = 5
+	la := NewLoader(ds, batch, rng.New(43))
+	lb := NewLoader(ds, batch, rng.New(43))
+	dim := ds.Dim()
+	x64 := make([]float64, batch*dim)
+	x32 := make([]float32, batch*dim)
+	y64 := make([]int, batch)
+	y32 := make([]int, batch)
+	for it := 0; it < 8; it++ {
+		NextInto(la, x64, y64)
+		NextInto(lb, x32, y32)
+		for i := range y64 {
+			if y32[i] != y64[i] {
+				t.Fatalf("iter %d: label %d = %d, want %d", it, i, y32[i], y64[i])
+			}
+		}
+		for i := range x64 {
+			if x32[i] != float32(x64[i]) {
+				t.Fatalf("iter %d: x32[%d] = %v, want float32(%v)", it, i, x32[i], x64[i])
+			}
+		}
+	}
+}
+
+// TestNextIntoSizeChecks pins the destination-size panics.
+func TestNextIntoSizeChecks(t *testing.T) {
+	spec := ImageSpec{Classes: 2, Channels: 1, Height: 4, Width: 4, Noise: 1}
+	ds := NewImageGenerator(spec, rng.New(1)).Generate(8, rng.New(2))
+	l := NewLoader(ds, 4, rng.New(3))
+	for _, tc := range []struct {
+		name   string
+		nx, ny int
+	}{
+		{"short-x", 4*ds.Dim() - 1, 4},
+		{"short-y", 4 * ds.Dim(), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("undersized destination must panic")
+				}
+			}()
+			NextInto(l, make([]float64, tc.nx), make([]int, tc.ny))
+		})
+	}
+}

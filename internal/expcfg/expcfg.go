@@ -15,6 +15,7 @@ import (
 	"fedca/internal/nn"
 	"fedca/internal/rng"
 	"fedca/internal/simnet"
+	"fedca/internal/tensor"
 	"fedca/internal/trace"
 )
 
@@ -134,13 +135,22 @@ func (w Workload) Shrink(localIters, trainN, testN, batch int) Workload {
 
 // NewModel instantiates the workload's network.
 func (w Workload) NewModel(r *rng.RNG) *model.Model {
+	return NewModelOf[float64](w, r)
+}
+
+// NewModelOf instantiates the workload's network at dtype F. Methods cannot
+// take type parameters, so this is a package-level function; NewModel is its
+// float64 shorthand. At every dtype the constructor draws the same
+// initialization stream — a float32 model is the float64 initialization
+// narrowed element-wise.
+func NewModelOf[F tensor.Float](w Workload, r *rng.RNG) *model.ModelOf[F] {
 	switch w.Name {
 	case "cnn":
-		return model.NewCNN(w.Img, r)
+		return model.NewCNNOf[F](w.Img, r)
 	case "lstm":
-		return model.NewLSTM(w.Seq, r)
+		return model.NewLSTMOf[F](w.Seq, r)
 	case "wrn":
-		return model.NewWRN(w.Wrn, r)
+		return model.NewWRNOf[F](w.Wrn, r)
 	default:
 		panic("expcfg: workload has no model: " + w.Name)
 	}
@@ -152,7 +162,10 @@ type Testbed struct {
 	Clients  []*fl.Client
 	Test     *data.Dataset
 	Factory  func() *nn.Network
-	Seed     uint64
+	// Factory32 builds the float32 instantiation of the same architecture
+	// from the same model seed, for runs with Workload.FL.DType == "f32".
+	Factory32 func() *nn.NetworkOf[float32]
+	Seed      uint64
 }
 
 // Build assembles numClients clients with Dirichlet-partitioned local data,
@@ -203,10 +216,14 @@ func Build(w Workload, numClients int, tcfg trace.Config, seed uint64) *Testbed 
 	factory := func() *nn.Network {
 		return w.NewModel(rng.New(modelSeed)).Network
 	}
-	return &Testbed{Workload: w, Clients: clients, Test: test, Factory: factory, Seed: seed}
+	factory32 := func() *nn.NetworkOf[float32] {
+		return NewModelOf[float32](w, rng.New(modelSeed)).Network
+	}
+	return &Testbed{Workload: w, Clients: clients, Test: test, Factory: factory, Factory32: factory32, Seed: seed}
 }
 
 // NewRunner builds an fl.Runner for the testbed with the given scheme.
 func (tb *Testbed) NewRunner(scheme fl.Scheme) (*fl.Runner, error) {
-	return fl.NewRunner(tb.Workload.FL, tb.Clients, scheme, tb.Test, tb.Factory)
+	return fl.NewRunner(tb.Workload.FL, tb.Clients, scheme, tb.Test, tb.Factory,
+		fl.WithFloat32Workers(tb.Factory32))
 }

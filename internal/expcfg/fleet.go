@@ -121,7 +121,10 @@ type FleetTestbed struct {
 	Fleet    *VirtualFleet
 	Test     *data.Dataset
 	Factory  func() *nn.Network
-	Seed     uint64
+	// Factory32 builds the float32 instantiation of the same architecture
+	// from the same model seed, for runs with Workload.FL.DType == "f32".
+	Factory32 func() *nn.NetworkOf[float32]
+	Seed      uint64
 }
 
 // BuildFleet assembles a virtual fleet of fleetSize clients over the
@@ -178,10 +181,14 @@ func BuildFleet(w Workload, fleetSize, perClient int, tcfg trace.Config, seed ui
 	factory := func() *nn.Network {
 		return w.NewModel(rng.New(modelSeed)).Network
 	}
-	return &FleetTestbed{Workload: w, Fleet: fleet, Test: test, Factory: factory, Seed: seed}, nil
+	factory32 := func() *nn.NetworkOf[float32] {
+		return NewModelOf[float32](w, rng.New(modelSeed)).Network
+	}
+	return &FleetTestbed{Workload: w, Fleet: fleet, Test: test, Factory: factory, Factory32: factory32, Seed: seed}, nil
 }
 
 // NewRunner builds an fl.Runner over the virtual fleet with the given scheme.
 func (tb *FleetTestbed) NewRunner(scheme fl.Scheme) (*fl.Runner, error) {
-	return fl.NewFleetRunner(tb.Workload.FL, tb.Fleet, scheme, tb.Test, tb.Factory)
+	return fl.NewFleetRunner(tb.Workload.FL, tb.Fleet, scheme, tb.Test, tb.Factory,
+		fl.WithFloat32Workers(tb.Factory32))
 }

@@ -33,6 +33,10 @@ type Scale struct {
 	Window     int // consecutive rounds for Fig. 4 (paper: 5)
 
 	ProfilePeriod int // FedCA anchor spacing
+
+	// DType is the client training precision ("" = float64). It changes the
+	// training trajectory, so it is part of the cell cache key.
+	DType string
 }
 
 // Tiny is the scale used by `go test -bench` and CI: minutes, not hours.
@@ -88,6 +92,7 @@ func (s Scale) Workload(model string) (expcfg.Workload, error) {
 		return w, err
 	}
 	w = w.Shrink(s.K, s.TrainN, s.TestN, s.BatchSize)
+	w.FL.DType = s.DType
 	if s.Name == "tiny" {
 		// Smallest trainable geometry, with noise set so accuracy does not
 		// saturate within the round budget (otherwise the late-stage effects
@@ -137,9 +142,13 @@ func newResult(id string) *Result {
 // from differently-parameterized scales — even ones sharing a Name, like the
 // test-only micro scale — never collide in the cross-process result cache.
 func (s Scale) cellKey() string {
-	return fmt.Sprintf("%s:c%d:r%d:k%d:n%d-%d:b%d:e%d:l%d:w%d:p%d",
+	dt := s.DType
+	if dt == "" {
+		dt = "f64"
+	}
+	return fmt.Sprintf("%s:c%d:r%d:k%d:n%d-%d:b%d:e%d:l%d:w%d:p%d:%s",
 		s.Name, s.Clients, s.Rounds, s.K, s.TrainN, s.TestN, s.BatchSize,
-		s.EarlyRound, s.LateRound, s.Window, s.ProfilePeriod)
+		s.EarlyRound, s.LateRound, s.Window, s.ProfilePeriod, dt)
 }
 
 var _ = fl.NoDeadline // fl is used by sibling files in this package

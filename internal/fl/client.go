@@ -6,8 +6,11 @@ import (
 	"sync"
 
 	"fedca/internal/chaos"
+	"fedca/internal/compress"
+	"fedca/internal/data"
 	"fedca/internal/nn"
 	"fedca/internal/telemetry"
+	"fedca/internal/tensor"
 )
 
 // deltaPool recycles the NumParams-sized vectors handed to the server as
@@ -67,6 +70,64 @@ func (b *RoundBuffers) outDelta(n int) []float64 {
 	return b.pool.get(n)
 }
 
+// trainWorkerOf is one training slot: a dtype-concrete network plus the
+// persistent per-worker state the training loop reuses across clients and
+// rounds — the scratch arena every layer bump-allocates from, and the label
+// buffer. The arena resets once per training iteration, so after a warmup
+// iteration has sized its slabs, steady-state iterations allocate nothing.
+type trainWorkerOf[F tensor.Float] struct {
+	net   *nn.NetworkOf[F]
+	arena *tensor.Arena
+	y     []int
+}
+
+// newTrainWorkerOf wraps net in a worker and binds a fresh arena to it.
+func newTrainWorkerOf[F tensor.Float](net *nn.NetworkOf[F]) *trainWorkerOf[F] {
+	w := &trainWorkerOf[F]{net: net, arena: tensor.NewArena()}
+	net.SetArena(w.arena)
+	return w
+}
+
+// trainWorker is the dtype-erased handle the runner schedules client rounds
+// onto: a float64 and a float32 worker run the identical round protocol, so
+// the runner never branches on precision.
+type trainWorker interface {
+	run(c *Client, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers, anchor bool) Update
+	numParams() int
+}
+
+func (w *trainWorkerOf[F]) run(c *Client, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers, anchor bool) Update {
+	return runClientRound(c, w, globalFlat, cfg, plan, ctrl, round, roundStart, bufs, anchor)
+}
+
+func (w *trainWorkerOf[F]) numParams() int { return w.net.NumParams() }
+
+// alloc draws a zeroed tensor from the worker's arena, falling back to the
+// heap when the worker has none (the exported RunClientRound path, which must
+// not rebind the caller's network).
+func (w *trainWorkerOf[F]) alloc(shape ...int) *tensor.TensorOf[F] {
+	if w.arena != nil {
+		return tensor.AllocOf[F](w.arena, shape...)
+	}
+	return tensor.NewOf[F](shape...)
+}
+
+// modifyGrad dispatches the controller's gradient hook by worker dtype: a
+// float64 worker calls ModifyGrad, a float32 worker calls ModifyGrad32 and
+// refuses controllers that lack it (see GradModifier32).
+func modifyGrad[F tensor.Float](ctrl Controller, params []*nn.ParamOf[F], globalFlat []float64) {
+	switch ps := any(params).(type) {
+	case []*nn.Param:
+		ctrl.ModifyGrad(ps, globalFlat)
+	case []*nn.ParamOf[float32]:
+		m, ok := ctrl.(GradModifier32)
+		if !ok {
+			panic(fmt.Sprintf("fl: controller %T has no ModifyGrad32; a float32 worker would silently drop its gradient modification", ctrl))
+		}
+		m.ModifyGrad32(ps, globalFlat)
+	}
+}
+
 // RunClientRound simulates one client's round: model download, local SGD with
 // scheme hooks, eager per-layer transmissions, and the end-of-round upload.
 // Training math runs for real; time is accounted in virtual seconds. round is
@@ -77,13 +138,22 @@ func (b *RoundBuffers) outDelta(n int) []float64 {
 //
 // It runs on a worker goroutine during Runner.RunRound and invokes every
 // Controller hook inline; see the package comment for the full concurrency
-// contract. This exported variant allocates its own buffers; the runner's
-// workers pass reusable ones through runClientRound.
+// contract. This exported variant allocates its own buffers and leaves the
+// caller's network arena binding untouched; the runner's workers pass
+// reusable buffers and arena-bound networks through runClientRound.
 func RunClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64) Update {
-	return runClientRound(c, net, globalFlat, cfg, plan, ctrl, round, roundStart, nil, false)
+	return runClientRound(c, &trainWorkerOf[float64]{net: net}, globalFlat, cfg, plan, ctrl, round, roundStart, nil, false)
 }
 
-func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers, anchor bool) Update {
+// runClientRound is the dtype-generic round body. Everything the server, the
+// scheme hooks and the wire see — the accumulated delta, eager snapshots, the
+// uploaded update — is float64 regardless of F: a float32 worker narrows the
+// global model once at SetFlatParams and widens its weights when the delta is
+// recomputed each iteration, so only Forward/Backward/SGD run in reduced
+// precision. For F = float64 every arithmetic step below is bit-identical to
+// the historical float64-only implementation.
+func runClientRound[F tensor.Float](c *Client, w *trainWorkerOf[F], globalFlat []float64, cfg *Config, plan RoundPlan, ctrl Controller, round int, roundStart float64, bufs *RoundBuffers, anchor bool) Update {
+	net := w.net
 	ranges := net.ParamRanges()
 	if len(globalFlat) != net.NumParams() {
 		panic(fmt.Sprintf("fl: global vector size %d != model params %d", len(globalFlat), net.NumParams()))
@@ -128,7 +198,7 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	// Stochastic layers (dropout) must not depend on which worker network
 	// this client landed on; reseed them from client identity and round time.
 	net.ReseedNoise(uint64(c.ID)<<32 ^ uint64(int64(roundStart*1e6)))
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	opt := nn.NewSGDOf[F](cfg.LR, cfg.Momentum, cfg.WeightDecay)
 
 	// Drop-out: the client may vanish partway through the round (Sec. 3.1
 	// treats drop-out as the extreme of resource shrinkage). The dropped
@@ -148,15 +218,22 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	}
 
 	bytesPerScalar := cfg.ModelBytes / float64(len(globalFlat))
-	// compressLayer yields what the server would decode for one layer's
-	// update and its wire size (compressors quote bytes against a 4-byte
-	// fp32 baseline; rescale to honour ModelBytes emulation).
-	compressLayer := func(vec []float64) ([]float64, float64) {
+	// compressInto writes what the server would decode for one layer's update
+	// into dst and returns its wire size (compressors quote bytes against a
+	// 4-byte fp32 baseline; rescale to honour ModelBytes emulation). dst must
+	// not alias vec. Compressors providing CompressInto skip the intermediate
+	// approximation vector entirely.
+	compressInto := func(vec, dst []float64) float64 {
 		if cfg.Compressor == nil {
-			return vec, float64(len(vec)) * bytesPerScalar
+			copy(dst, vec)
+			return float64(len(vec)) * bytesPerScalar
+		}
+		if ic, ok := cfg.Compressor.(compress.IntoCompressor); ok {
+			return ic.CompressInto(vec, dst) * bytesPerScalar / 4
 		}
 		approx, b4 := cfg.Compressor.Compress(vec)
-		return approx, b4 * bytesPerScalar / 4
+		copy(dst, approx)
+		return b4 * bytesPerScalar / 4
 	}
 	delta := bufs.scratch(len(globalFlat))
 	var eager []EagerRecord
@@ -167,14 +244,27 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	iters := 0
 	lossSum := 0.0
 	params := net.Params()
+	batch, dim := c.Loader.BatchSize(), c.Loader.Dim()
+	if cap(w.y) < batch {
+		w.y = make([]int, batch)
+	}
+	y := w.y[:batch]
 	for iter := 1; iter <= budget; iter++ {
-		x, y := c.Loader.Next()
+		// One iteration, one arena generation: every activation, mask and
+		// per-sample gradient buffer below recycles here. Parameters, the
+		// optimizer state and the delta live outside the arena.
+		if w.arena != nil {
+			w.arena.Reset()
+		}
+		x := w.alloc(batch, dim)
+		data.NextInto(c.Loader, x.Data(), y)
 		net.ZeroGrad()
 		logits := net.Forward(x, true)
-		loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		dlogits := w.alloc(logits.Dim(0), logits.Dim(1))
+		loss := nn.SoftmaxCrossEntropyInto(logits, y, dlogits)
 		lossSum += loss
 		net.Backward(dlogits)
-		ctrl.ModifyGrad(params, globalFlat)
+		modifyGrad(ctrl, params, globalFlat)
 		opt.Step(params)
 
 		dt := c.Speed.IterDurationWith(cfg.BaseIterTime, now, cplan.ComputeFactor(iter))
@@ -208,12 +298,15 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 			}
 		}
 
-		// Accumulated update so far.
+		// Accumulated update so far: widen the working weights and subtract
+		// the float64 master vector, so the delta every hook and the server
+		// observe is float64 at either working precision (for F = float64 the
+		// widening is the identity).
 		off := 0
 		for _, p := range params {
 			d := p.Value.Data()
 			for j := range d {
-				delta[off+j] = d[j] - globalFlat[off+j]
+				delta[off+j] = float64(d[j]) - globalFlat[off+j]
 			}
 			off += len(d)
 		}
@@ -238,9 +331,8 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 			}
 			eagerSent[li] = true
 			rg := ranges[li]
-			approx, wireBytes := compressLayer(delta[rg.Start:rg.End])
 			snap := make([]float64, rg.Size())
-			copy(snap, approx)
+			wireBytes := compressInto(delta[rg.Start:rg.End], snap)
 			sentAt, doneAt := c.Up.TransferAttempts(now, wireBytes, cplan.Attempts())
 			eager = append(eager, EagerRecord{Layer: li, Iter: iter, Snapshot: snap, SentAt: sentAt, DoneAt: doneAt})
 		}
@@ -278,14 +370,16 @@ func runClientRound(c *Client, net *nn.Network, globalFlat []float64, cfg *Confi
 	}
 
 	// Final payload: every layer except those whose eager snapshot stands.
+	// serverDelta already holds the uncompressed delta, so the no-compressor
+	// path only accounts bytes; a compressor overwrites the layer in place.
 	var finalBytes float64
 	for li, rg := range ranges {
 		if !stale[li] {
-			approx, wireBytes := compressLayer(delta[rg.Start:rg.End])
-			if cfg.Compressor != nil {
-				copy(serverDelta[rg.Start:rg.End], approx)
+			if cfg.Compressor == nil {
+				finalBytes += float64(rg.Size()) * bytesPerScalar
+			} else {
+				finalBytes += compressInto(delta[rg.Start:rg.End], serverDelta[rg.Start:rg.End])
 			}
-			finalBytes += wireBytes
 		}
 	}
 	if finalBytes < 64 {

@@ -84,6 +84,18 @@ type Config struct {
 	// evaluation (0 = whole test set).
 	EvalBatch int
 
+	// DType selects the client compute precision: "" or "f64" trains workers
+	// in float64 (the historical path), "f32" trains them in float32. The
+	// master weights, every per-iteration accumulated delta, aggregation and
+	// evaluation stay float64 in either mode; a float32 worker adopts the
+	// rounded global model at round start (SetFlatParams) and widens its
+	// weights when the delta is recomputed, so hooks, compression, validation
+	// and the reduce see ordinary float64 vectors. Results are deterministic
+	// at any worker count for both dtypes, but the two dtypes are not
+	// bit-identical to each other. "f32" requires the runner to be built with
+	// WithFloat32Workers.
+	DType string
+
 	// RetainUpdateDeltas keeps each Update's full Delta vector in the round
 	// results. Off by default: long runs over many clients would otherwise
 	// hold rounds × clients × params floats alive.
@@ -188,6 +200,11 @@ func (c *Config) Validate(numParams int) error {
 	if c.Chaos != nil {
 		c.ValidateUpdates = true
 	}
+	switch c.DType {
+	case "", "f64", "f32":
+	default:
+		return fmt.Errorf("fl: DType must be \"\", \"f64\" or \"f32\", got %q", c.DType)
+	}
 	return nil
 }
 
@@ -278,7 +295,9 @@ type FinalAction struct {
 type Controller interface {
 	// ModifyGrad may adjust parameter gradients before the optimizer step
 	// (e.g. FedProx's proximal term). globalFlat is the round's starting
-	// parameter vector.
+	// parameter vector. Controllers overriding it with real behaviour must
+	// also implement GradModifier32, or float32 workers will panic rather
+	// than silently skip the modification.
 	ModifyGrad(params []*nn.Param, globalFlat []float64)
 	// AfterIteration observes intra-round state and may stop training or
 	// request eager layer transmissions.
@@ -353,11 +372,26 @@ type DropoutObserver interface {
 	OnDropout(iter int)
 }
 
+// GradModifier32 is an optional Controller extension: the float32 analogue of
+// ModifyGrad, invoked instead of it when the client trains in float32
+// (Config.DType "f32"). globalFlat stays float64 — the master weights never
+// narrow. Controllers whose ModifyGrad is a real modification must implement
+// it (embedding NopController provides a no-op for the rest); a float32 worker
+// panics on a controller that lacks it, so a scheme can never silently lose
+// its gradient correction by switching dtype.
+type GradModifier32 interface {
+	ModifyGrad32(params []*nn.ParamOf[float32], globalFlat []float64)
+}
+
 // NopController implements Controller with no behaviour — plain FedAvg.
 type NopController struct{}
 
 // ModifyGrad does nothing.
 func (NopController) ModifyGrad([]*nn.Param, []float64) {}
+
+// ModifyGrad32 does nothing: embedding NopController opts a controller into
+// float32 workers with no gradient modification.
+func (NopController) ModifyGrad32([]*nn.ParamOf[float32], []float64) {}
 
 // AfterIteration never stops and never transmits eagerly.
 func (NopController) AfterIteration(IterState) IterAction { return IterAction{} }

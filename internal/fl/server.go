@@ -59,7 +59,7 @@ type Runner struct {
 
 	global  *nn.Network
 	flat    []float64
-	workers []*nn.Network
+	workers []trainWorker   // dtype-erased training slots (see Config.DType)
 	bufs    []*RoundBuffers // per-worker scratch, index-aligned with workers
 	pool    *deltaPool      // recycles Update.Delta vectors across rounds
 	aggBuf  []float64       // reusable accumulator of the weighted reduce
@@ -84,15 +84,31 @@ type Runner struct {
 	stats   RunnerStats
 }
 
+// RunnerOption customizes runner construction (NewRunner, NewFleetRunner).
+type RunnerOption func(*runnerOpts)
+
+type runnerOpts struct {
+	factory32 func() *nn.NetworkOf[float32]
+}
+
+// WithFloat32Workers supplies the float32 network factory the runner uses for
+// its training slots when Config.DType is "f32". The factory must build the
+// float32 instantiation of the same architecture as the float64 factory —
+// same parameters in the same order — since the two exchange state through
+// the flat float64 parameter vector. Ignored at other dtypes.
+func WithFloat32Workers(factory func() *nn.NetworkOf[float32]) RunnerOption {
+	return func(o *runnerOpts) { o.factory32 = factory }
+}
+
 // NewRunner wires a runner over a pre-materialized client slice (wrapped in
 // a StaticFleet). factory must build fresh identically-shaped networks; the
 // first one becomes the global model (its initialization is the run's
 // starting point) and one extra per worker executes client training.
-func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset, factory func() *nn.Network) (*Runner, error) {
+func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset, factory func() *nn.Network, opts ...RunnerOption) (*Runner, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fl: no clients")
 	}
-	r, err := NewFleetRunner(cfg, NewStaticFleet(clients), scheme, test, factory)
+	r, err := NewFleetRunner(cfg, NewStaticFleet(clients), scheme, test, factory, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -117,13 +133,24 @@ func NewRunner(cfg Config, clients []*Client, scheme Scheme, test *data.Dataset,
 // 1% participation builds the same handful of worker models a static testbed
 // would. Config.Participation in (0,1) requires the fleet to implement
 // CohortSampler.
-func NewFleetRunner(cfg Config, fleet Fleet, scheme Scheme, test *data.Dataset, factory func() *nn.Network) (*Runner, error) {
+//
+// The global model is always float64 — master weights, aggregation and
+// evaluation never narrow. Config.DType "f32" switches only the training
+// slots to float32 and requires WithFloat32Workers.
+func NewFleetRunner(cfg Config, fleet Fleet, scheme Scheme, test *data.Dataset, factory func() *nn.Network, opts ...RunnerOption) (*Runner, error) {
 	if fleet == nil || fleet.Size() == 0 {
 		return nil, fmt.Errorf("fl: no clients")
+	}
+	var ro runnerOpts
+	for _, o := range opts {
+		o(&ro)
 	}
 	global := factory()
 	if err := cfg.Validate(global.NumParams()); err != nil {
 		return nil, err
+	}
+	if cfg.DType == "f32" && ro.factory32 == nil {
+		return nil, fmt.Errorf("fl: DType \"f32\" requires WithFloat32Workers")
 	}
 	if p := cfg.Participation; p > 0 && p < 1 {
 		if _, ok := fleet.(CohortSampler); !ok {
@@ -140,11 +167,18 @@ func NewFleetRunner(cfg Config, fleet Fleet, scheme Scheme, test *data.Dataset, 
 	if nWorkers < 1 {
 		nWorkers = 1
 	}
-	workers := make([]*nn.Network, nWorkers)
+	workers := make([]trainWorker, nWorkers)
 	bufs := make([]*RoundBuffers, nWorkers)
 	pool := &deltaPool{}
 	for i := range workers {
-		workers[i] = factory()
+		if cfg.DType == "f32" {
+			workers[i] = newTrainWorkerOf(ro.factory32())
+		} else {
+			workers[i] = newTrainWorkerOf(factory())
+		}
+		if np := workers[i].numParams(); np != global.NumParams() {
+			return nil, fmt.Errorf("fl: worker factory built %d params, global model has %d", np, global.NumParams())
+		}
 		bufs[i] = &RoundBuffers{pool: pool}
 	}
 	return &Runner{
@@ -339,7 +373,7 @@ func (r *Runner) RunRound() RoundResult {
 	borrowed := cputok.Default().Borrow(maxWorkers - 1)
 	var next int
 	var mu sync.Mutex
-	clientWorker := func(net *nn.Network, bufs *RoundBuffers) {
+	clientWorker := func(w trainWorker, bufs *RoundBuffers) {
 		for {
 			mu.Lock()
 			i := next
@@ -348,7 +382,7 @@ func (r *Runner) RunRound() RoundResult {
 			if i >= len(participants) {
 				return
 			}
-			updates[i] = runClientRound(participants[i], net, r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs, anchor)
+			updates[i] = w.run(participants[i], r.flat, &r.Cfg, plan, ctrls[i], r.round, start, bufs, anchor)
 			if fold != nil {
 				fold.complete(i)
 			}
@@ -357,9 +391,9 @@ func (r *Runner) RunRound() RoundResult {
 	var wg sync.WaitGroup
 	wg.Add(borrowed)
 	for w := 1; w <= borrowed; w++ {
-		go func(net *nn.Network, bufs *RoundBuffers) {
+		go func(w trainWorker, bufs *RoundBuffers) {
 			defer wg.Done()
-			clientWorker(net, bufs)
+			clientWorker(w, bufs)
 		}(r.workers[w], r.bufs[w])
 	}
 	clientWorker(r.workers[0], r.bufs[0])

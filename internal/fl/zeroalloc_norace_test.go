@@ -1,0 +1,6 @@
+//go:build !race
+
+package fl
+
+// See zeroalloc_race_test.go.
+const raceEnabled = false

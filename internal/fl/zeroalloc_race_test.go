@@ -1,0 +1,9 @@
+//go:build race
+
+package fl
+
+// raceEnabled gates the steady-state zero-alloc guard: under the race
+// detector sync.Pool deliberately drops items to expose races, so pooled
+// GEMM args, pack buffers and layer scratch re-allocate and the alloc count
+// measures the race runtime, not the math floor.
+const raceEnabled = true

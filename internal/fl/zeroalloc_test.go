@@ -1,0 +1,73 @@
+package fl
+
+import (
+	"testing"
+
+	"fedca/internal/cputok"
+	"fedca/internal/data"
+	"fedca/internal/model"
+	"fedca/internal/nn"
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// steadyStateAllocs replicates the per-iteration body of runClientRound —
+// arena reset, batch load, forward, loss, backward, SGD step — and measures
+// its heap allocations after one warmup iteration has sized the arena slabs
+// and the optimizer state. The kernel fan-out is pinned to the serial path
+// (cap 1): goroutine spawning is allocation by design, and a real client
+// training under a contended CPU-token budget runs serially anyway.
+func steadyStateAllocs[F tensor.Float](t *testing.T, net *nn.NetworkOf[F]) float64 {
+	t.Helper()
+	old := cputok.Default().Setting()
+	cputok.Default().SetCap(1)
+	defer cputok.Default().SetCap(old)
+
+	w := newTrainWorkerOf(net)
+	gen := data.NewImageGenerator(data.ImageSpec{
+		Classes: 4, Channels: 1, Height: 8, Width: 8, Noise: 1,
+	}, rng.New(5))
+	loader := data.NewLoader(gen.Generate(64, rng.New(7)), 8, rng.New(6))
+	batch, dim := loader.BatchSize(), loader.Dim()
+	opt := nn.NewSGDOf[F](0.01, 0.9, 0.001)
+	params := net.Params()
+	y := make([]int, batch)
+
+	iter := func() {
+		w.arena.Reset()
+		x := w.alloc(batch, dim)
+		data.NextInto(loader, x.Data(), y)
+		net.ZeroGrad()
+		logits := net.Forward(x, true)
+		dlogits := w.alloc(logits.Dim(0), logits.Dim(1))
+		nn.SoftmaxCrossEntropyInto(logits, y, dlogits)
+		net.Backward(dlogits)
+		opt.Step(params)
+	}
+	// Two warmups: the first sizes the arena slabs and builds the SGD
+	// velocity state, the second lets every regrown slab serve from its new
+	// buffer before measurement starts.
+	iter()
+	iter()
+	return testing.AllocsPerRun(10, iter)
+}
+
+// TestSteadyStateTrainingZeroAlloc is the math-floor guarantee the arena
+// exists for: once warmed up, a client training iteration performs zero heap
+// allocations at either dtype, on both the dense and the conv/pool paths.
+func TestSteadyStateTrainingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	img := model.ImageConfig{Channels: 1, Height: 8, Width: 8, Classes: 4}
+	t.Run("cnn/f64", func(t *testing.T) {
+		if n := steadyStateAllocs(t, model.NewCNN(img, rng.New(1)).Network); n != 0 {
+			t.Fatalf("steady-state f64 CNN iteration allocated %v times; want 0", n)
+		}
+	})
+	t.Run("cnn/f32", func(t *testing.T) {
+		if n := steadyStateAllocs(t, model.NewCNNOf[float32](img, rng.New(1)).Network); n != 0 {
+			t.Fatalf("steady-state f32 CNN iteration allocated %v times; want 0", n)
+		}
+	})
+}

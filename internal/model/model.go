@@ -9,6 +9,11 @@
 // Go test harness, so sizes here are configurable and default to scaled-down
 // variants that keep the architectural shape (depth, residual groups,
 // recurrent stack) while remaining fast; see DESIGN.md §2.
+//
+// Builders are generic over the working dtype. Initialization draws from the
+// RNG in float64 on every path, so a float32 model consumes the identical
+// random stream and starts from the element-wise rounding of the float64
+// model's weights.
 package model
 
 import (
@@ -19,13 +24,20 @@ import (
 	"fedca/internal/tensor"
 )
 
-// Model wraps a network with workload metadata.
-type Model struct {
-	*nn.Network
+// Network is a generic alias of nn.NetworkOf, embedded in ModelOf so the
+// field keeps its historical name: m.Network works for any dtype.
+type Network[F tensor.Float] = nn.NetworkOf[F]
+
+// ModelOf wraps a network with workload metadata.
+type ModelOf[F tensor.Float] struct {
+	*Network[F]
 	Name    string
 	InDim   int // per-sample input feature count
 	Classes int
 }
+
+// Model is the float64 model, the historical API.
+type Model = ModelOf[float64]
 
 // ImageConfig describes an image-classification workload geometry.
 type ImageConfig struct {
@@ -56,46 +68,53 @@ type WRNConfig struct {
 	Dropout float64
 }
 
-// NewCNN builds a LeNet-5-style CNN: two 5×5 conv+maxpool stages followed by
-// three fully connected layers (fc1/fc2/fc3), as in the paper's CNN workload.
-func NewCNN(cfg ImageConfig, r *rng.RNG) *Model {
+// NewCNNOf builds a LeNet-5-style CNN: two 5×5 conv+maxpool stages followed
+// by three fully connected layers (fc1/fc2/fc3), as in the paper's CNN
+// workload.
+func NewCNNOf[F tensor.Float](cfg ImageConfig, r *rng.RNG) *ModelOf[F] {
 	if cfg.Height%4 != 0 || cfg.Width%4 != 0 {
 		panic(fmt.Sprintf("model: CNN input %dx%d must be divisible by 4 (two 2x2 pools)", cfg.Height, cfg.Width))
 	}
 	g1 := tensor.NewConvGeom(cfg.Channels, cfg.Height, cfg.Width, 5, 5, 1, 2)
-	conv1 := nn.NewConv2D("conv1", g1, 6, r)
-	pool1 := nn.NewMaxPool2D(6, g1.OutH, g1.OutW, 2, 2)
+	conv1 := nn.NewConv2DOf[F]("conv1", g1, 6, r)
+	pool1 := nn.NewMaxPool2DOf[F](6, g1.OutH, g1.OutW, 2, 2)
 	g2 := tensor.NewConvGeom(6, pool1.OutH, pool1.OutW, 5, 5, 1, 2)
-	conv2 := nn.NewConv2D("conv2", g2, 16, r)
-	pool2 := nn.NewMaxPool2D(16, g2.OutH, g2.OutW, 2, 2)
+	conv2 := nn.NewConv2DOf[F]("conv2", g2, 16, r)
+	pool2 := nn.NewMaxPool2DOf[F](16, g2.OutH, g2.OutW, 2, 2)
 	flat := pool2.OutDim()
-	net := nn.NewNetwork(
-		conv1, nn.NewReLU(conv1.OutDim()), pool1,
-		conv2, nn.NewReLU(conv2.OutDim()), pool2,
-		nn.NewDense("fc1", flat, 120, r), nn.NewReLU(120),
-		nn.NewDense("fc2", 120, 84, r), nn.NewReLU(84),
-		nn.NewDense("fc3", 84, cfg.Classes, r),
+	net := nn.NewNetworkOf[F](
+		conv1, nn.NewReLUOf[F](conv1.OutDim()), pool1,
+		conv2, nn.NewReLUOf[F](conv2.OutDim()), pool2,
+		nn.NewDenseOf[F]("fc1", flat, 120, r), nn.NewReLUOf[F](120),
+		nn.NewDenseOf[F]("fc2", 120, 84, r), nn.NewReLUOf[F](84),
+		nn.NewDenseOf[F]("fc3", 84, cfg.Classes, r),
 	)
-	return &Model{Network: net, Name: "cnn", InDim: cfg.InDim(), Classes: cfg.Classes}
+	return &ModelOf[F]{Network: net, Name: "cnn", InDim: cfg.InDim(), Classes: cfg.Classes}
 }
 
-// NewLSTM builds the paper's LSTM workload: a stacked LSTM named "rnn"
+// NewCNN builds the float64 CNN.
+func NewCNN(cfg ImageConfig, r *rng.RNG) *Model { return NewCNNOf[float64](cfg, r) }
+
+// NewLSTMOf builds the paper's LSTM workload: a stacked LSTM named "rnn"
 // (yielding rnn.weight_ih_l0 … rnn.bias_hh_l1) followed by a classifier head.
-func NewLSTM(cfg SeqConfig, r *rng.RNG) *Model {
+func NewLSTMOf[F tensor.Float](cfg SeqConfig, r *rng.RNG) *ModelOf[F] {
 	if cfg.Layers <= 0 {
 		cfg.Layers = 2
 	}
-	lstm := nn.NewLSTM("rnn", cfg.FeatDim, cfg.Hidden, cfg.SeqLen, cfg.Layers, r)
-	net := nn.NewNetwork(lstm, nn.NewDense("fc", cfg.Hidden, cfg.Classes, r))
-	return &Model{Network: net, Name: "lstm", InDim: cfg.SeqLen * cfg.FeatDim, Classes: cfg.Classes}
+	lstm := nn.NewLSTMOf[F]("rnn", cfg.FeatDim, cfg.Hidden, cfg.SeqLen, cfg.Layers, r)
+	net := nn.NewNetworkOf[F](lstm, nn.NewDenseOf[F]("fc", cfg.Hidden, cfg.Classes, r))
+	return &ModelOf[F]{Network: net, Name: "lstm", InDim: cfg.SeqLen * cfg.FeatDim, Classes: cfg.Classes}
 }
 
-// NewWRN builds a WideResNet-style network: an entry 3×3 conv, three groups
+// NewLSTM builds the float64 LSTM workload.
+func NewLSTM(cfg SeqConfig, r *rng.RNG) *Model { return NewLSTMOf[float64](cfg, r) }
+
+// NewWRNOf builds a WideResNet-style network: an entry 3×3 conv, three groups
 // of pre-activation basic blocks at widths w/2w/4w (the latter two groups
 // downsampling by 2), then BN→ReLU→global-average-pool→fc. Parameter names
 // follow "conv<g>.<i>.residual.<j>" for block-internal layers, matching the
 // names in the paper's Fig. 3/5 (e.g. conv3.0.residual.0.bias).
-func NewWRN(cfg WRNConfig, r *rng.RNG) *Model {
+func NewWRNOf[F tensor.Float](cfg WRNConfig, r *rng.RNG) *ModelOf[F] {
 	img := cfg.Image
 	if cfg.BlocksPerGroup <= 0 {
 		cfg.BlocksPerGroup = 2
@@ -103,9 +122,9 @@ func NewWRN(cfg WRNConfig, r *rng.RNG) *Model {
 	if cfg.Width <= 0 {
 		cfg.Width = 8
 	}
-	var layers []nn.Layer
+	var layers []nn.LayerOf[F]
 	g0 := tensor.NewConvGeom(img.Channels, img.Height, img.Width, 3, 3, 1, 1)
-	conv1 := nn.NewConv2D("conv1", g0, cfg.Width, r)
+	conv1 := nn.NewConv2DOf[F]("conv1", g0, cfg.Width, r)
 	layers = append(layers, conv1)
 	ch, h, w := cfg.Width, g0.OutH, g0.OutW
 	for group := 0; group < 3; group++ {
@@ -120,21 +139,24 @@ func NewWRN(cfg WRNConfig, r *rng.RNG) *Model {
 				s = stride
 			}
 			name := fmt.Sprintf("conv%d.%d", group+2, blk)
-			block, outH, outW := basicBlock(name, ch, h, w, outCh, s, cfg.Dropout, r)
+			block, outH, outW := basicBlock[F](name, ch, h, w, outCh, s, cfg.Dropout, r)
 			layers = append(layers, block)
 			ch, h, w = outCh, outH, outW
 		}
 	}
-	bnOut := nn.NewBatchNorm2D("bn_out", ch, h, w)
+	bnOut := nn.NewBatchNorm2DOf[F]("bn_out", ch, h, w)
 	layers = append(layers,
 		bnOut,
-		nn.NewReLU(ch*h*w),
-		nn.NewGlobalAvgPool2D(ch, h, w),
-		nn.NewDense("fc", ch, img.Classes, r),
+		nn.NewReLUOf[F](ch*h*w),
+		nn.NewGlobalAvgPool2DOf[F](ch, h, w),
+		nn.NewDenseOf[F]("fc", ch, img.Classes, r),
 	)
-	net := nn.NewNetwork(layers...)
-	return &Model{Network: net, Name: "wrn", InDim: img.InDim(), Classes: img.Classes}
+	net := nn.NewNetworkOf[F](layers...)
+	return &ModelOf[F]{Network: net, Name: "wrn", InDim: img.InDim(), Classes: img.Classes}
 }
+
+// NewWRN builds the float64 WRN.
+func NewWRN(cfg WRNConfig, r *rng.RNG) *Model { return NewWRNOf[float64](cfg, r) }
 
 // basicBlock builds one pre-activation residual block:
 // BN → ReLU → conv3x3(stride s) → BN → ReLU → dropout → conv3x3, with a 1×1
@@ -142,38 +164,43 @@ func NewWRN(cfg WRNConfig, r *rng.RNG) *Model {
 // appear in parameter names ("<name>.residual.<j>"): conv weights are
 // .residual.2 and .residual.6, norms .residual.0 and .residual.3 — matching
 // the names the paper's Fig. 3 shows (conv4.2.residual.6.weight).
-func basicBlock(name string, inCh, h, w, outCh, stride int, dropout float64, r *rng.RNG) (block *nn.Residual, outH, outW int) {
+func basicBlock[F tensor.Float](name string, inCh, h, w, outCh, stride int, dropout float64, r *rng.RNG) (block *nn.ResidualOf[F], outH, outW int) {
 	g1 := tensor.NewConvGeom(inCh, h, w, 3, 3, stride, 1)
-	c1 := nn.NewConv2D(name+".residual.2", g1, outCh, r)
+	c1 := nn.NewConv2DOf[F](name+".residual.2", g1, outCh, r)
 	g2 := tensor.NewConvGeom(outCh, g1.OutH, g1.OutW, 3, 3, 1, 1)
-	c2 := nn.NewConv2D(name+".residual.6", g2, outCh, r)
-	body := []nn.Layer{
-		nn.NewBatchNorm2D(name+".residual.0", inCh, h, w),
-		nn.NewReLU(inCh * h * w),
+	c2 := nn.NewConv2DOf[F](name+".residual.6", g2, outCh, r)
+	body := []nn.LayerOf[F]{
+		nn.NewBatchNorm2DOf[F](name+".residual.0", inCh, h, w),
+		nn.NewReLUOf[F](inCh * h * w),
 		c1,
-		nn.NewBatchNorm2D(name+".residual.3", outCh, g1.OutH, g1.OutW),
-		nn.NewReLU(c1.OutDim()),
-		nn.NewDropout(dropout, c1.OutDim(), r.Fork("dropout", name)),
+		nn.NewBatchNorm2DOf[F](name+".residual.3", outCh, g1.OutH, g1.OutW),
+		nn.NewReLUOf[F](c1.OutDim()),
+		nn.NewDropoutOf[F](dropout, c1.OutDim(), r.Fork("dropout", name)),
 		c2,
 	}
-	var shortcut []nn.Layer
+	var shortcut []nn.LayerOf[F]
 	if inCh != outCh || stride != 1 {
 		gs := tensor.NewConvGeom(inCh, h, w, 1, 1, stride, 0)
-		shortcut = []nn.Layer{nn.NewConv2D(name+".shortcut", gs, outCh, r)}
+		shortcut = []nn.LayerOf[F]{nn.NewConv2DOf[F](name+".shortcut", gs, outCh, r)}
 	}
-	return nn.NewResidual(body, shortcut, inCh*h*w), g2.OutH, g2.OutW
+	return nn.NewResidualOf[F](body, shortcut, inCh*h*w), g2.OutH, g2.OutW
 }
 
-// New constructs a model by workload name ("cnn", "lstm", "wrn") using the
-// supplied configs; unknown names return an error.
+// New constructs a float64 model by workload name ("cnn", "lstm", "wrn")
+// using the supplied configs; unknown names return an error.
 func New(name string, img ImageConfig, seq SeqConfig, wrn WRNConfig, r *rng.RNG) (*Model, error) {
+	return NewOf[float64](name, img, seq, wrn, r)
+}
+
+// NewOf constructs a model of any float dtype by workload name.
+func NewOf[F tensor.Float](name string, img ImageConfig, seq SeqConfig, wrn WRNConfig, r *rng.RNG) (*ModelOf[F], error) {
 	switch name {
 	case "cnn":
-		return NewCNN(img, r), nil
+		return NewCNNOf[F](img, r), nil
 	case "lstm":
-		return NewLSTM(seq, r), nil
+		return NewLSTMOf[F](seq, r), nil
 	case "wrn":
-		return NewWRN(wrn, r), nil
+		return NewWRNOf[F](wrn, r), nil
 	default:
 		return nil, fmt.Errorf("model: unknown model %q", name)
 	}

@@ -4,24 +4,36 @@ import (
 	"fedca/internal/tensor"
 )
 
-// ReLU applies max(0, x) elementwise.
-type ReLU struct {
+// ReLUOf applies max(0, x) elementwise.
+type ReLUOf[F tensor.Float] struct {
 	dim  int
 	mask []bool
+
+	arena *tensor.Arena
+	gen   uint64
 }
 
-// NewReLU creates a ReLU whose OutDim mirrors the given feature count.
-func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+// ReLU is the float64 ReLU.
+type ReLU = ReLUOf[float64]
+
+// NewReLUOf creates a ReLU whose OutDim mirrors the given feature count.
+func NewReLUOf[F tensor.Float](dim int) *ReLUOf[F] { return &ReLUOf[F]{dim: dim} }
+
+// NewReLU creates a float64 ReLU.
+func NewReLU(dim int) *ReLU { return NewReLUOf[float64](dim) }
 
 // OutDim returns the feature count.
-func (r *ReLU) OutDim() int { return r.dim }
+func (r *ReLUOf[F]) OutDim() int { return r.dim }
+
+func (r *ReLUOf[F]) setArena(a *tensor.Arena) { r.arena = a }
 
 // Forward zeroes negatives.
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+func (r *ReLUOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
+	y := cloneT(r.arena, x)
 	yd := y.Data()
 	if train {
-		r.mask = make([]bool, len(yd))
+		r.mask = allocBools(r.arena, len(yd))
+		r.gen = stampGen(r.arena)
 	}
 	for i, v := range yd {
 		if v <= 0 {
@@ -34,11 +46,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward gates gradients by the forward mask.
-func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (r *ReLUOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward without prior Forward(train=true)")
 	}
-	dx := dout.Clone()
+	checkGen(r.arena, r.gen, "nn.ReLU")
+	dx := cloneT(r.arena, dout)
 	dd := dx.Data()
 	for i := range dd {
 		if !r.mask[i] {
@@ -50,4 +63,4 @@ func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns nil.
-func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLUOf[F]) Params() []*ParamOf[F] { return nil }

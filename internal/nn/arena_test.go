@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedca/internal/rng"
+	"fedca/internal/tensor"
+)
+
+// TestBackwardAfterArenaResetPanics: the forward caches (here the ReLU mask
+// and Dense input) live in the arena, so resetting between Forward and
+// Backward must panic via the generation check instead of silently reading
+// recycled memory.
+func TestBackwardAfterArenaResetPanics(t *testing.T) {
+	r := rng.New(3)
+	net := NewNetwork(NewDense("fc1", 6, 5, r), NewReLU(5), NewDense("fc2", 5, 3, r))
+	arena := tensor.NewArena()
+	net.SetArena(arena)
+	x := randInput(r, 4, 6)
+	logits := net.Forward(x, true)
+	_, dlogits := SoftmaxCrossEntropy(logits, randLabels(r, 4, 3))
+	arena.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after arena Reset did not panic")
+		}
+	}()
+	net.Backward(dlogits)
+}
+
+// TestArenaMatchesHeapExactly: binding an arena changes where scratch lives,
+// never what it holds — forward outputs and parameter gradients must be
+// bit-identical to the heap-allocated network.
+func TestArenaMatchesHeapExactly(t *testing.T) {
+	build := func() *Network {
+		r := rng.New(7)
+		return NewNetwork(NewDense("fc1", 6, 8, r), NewReLU(8), NewDense("fc2", 8, 3, r))
+	}
+	heap, arenaNet := build(), build()
+	arena := tensor.NewArena()
+	arenaNet.SetArena(arena)
+
+	r := rng.New(11)
+	x := randInput(r, 4, 6)
+	labels := randLabels(r, 4, 3)
+	for iter := 0; iter < 3; iter++ {
+		arena.Reset()
+		heap.ZeroGrad()
+		arenaNet.ZeroGrad()
+		lh := heap.Forward(x, true)
+		la := arenaNet.Forward(x, true)
+		for i := range lh.Data() {
+			if lh.Data()[i] != la.Data()[i] {
+				t.Fatalf("iter %d: forward diverges at %d: %v vs %v", iter, i, lh.Data()[i], la.Data()[i])
+			}
+		}
+		_, dh := SoftmaxCrossEntropy(lh, labels)
+		_, da := SoftmaxCrossEntropy(la, labels)
+		heap.Backward(dh)
+		arenaNet.Backward(da)
+		hp, ap := heap.Params(), arenaNet.Params()
+		for p := range hp {
+			hg, ag := hp[p].Grad.Data(), ap[p].Grad.Data()
+			for i := range hg {
+				if hg[i] != ag[i] {
+					t.Fatalf("iter %d: grad %s[%d] diverges: %v vs %v", iter, hp[p].Name, i, hg[i], ag[i])
+				}
+			}
+		}
+	}
+}
+
+// lossOf32 evaluates the scalar training loss of a float32 network.
+func lossOf32(net *NetworkOf[float32], x *tensor.TensorOf[float32], labels []int) float64 {
+	logits := net.Forward(x, true)
+	loss, _ := SoftmaxCrossEntropy(logits, labels)
+	return loss
+}
+
+// TestGradCheckFloat32 verifies the float32 analytic gradients against
+// central finite differences. The step and tolerance scale with float32
+// machine epsilon (h ≈ ε^⅓ ≈ 5e-3, against 1e-5 at float64): smaller steps
+// drown in rounding, larger ones in truncation.
+func TestGradCheckFloat32(t *testing.T) {
+	r := rng.New(2)
+	net := NewNetworkOf[float32](
+		NewDenseOf[float32]("fc1", 6, 5, r),
+		NewReLUOf[float32](5),
+		NewDenseOf[float32]("fc2", 5, 3, r),
+	)
+	x := tensor.NewOf[float32](4, 6)
+	for i := range x.Data() {
+		x.Data()[i] = float32(r.Normal(0, 1))
+	}
+	labels := randLabels(r, 4, 3)
+
+	net.ZeroGrad()
+	logits := net.Forward(x, true)
+	_, dlogits := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(dlogits)
+
+	const eps = 5e-3
+	const tol = 2e-2
+	cr := rng.New(12345)
+	for _, p := range net.Params() {
+		d := p.Value.Data()
+		g := p.Grad.Data()
+		n := len(d)
+		checks := 6
+		if checks > n {
+			checks = n
+		}
+		for c := 0; c < checks; c++ {
+			i := cr.Intn(n)
+			orig := d[i]
+			d[i] = orig + eps
+			lp := lossOf32(net, x, labels)
+			d[i] = orig - eps
+			lm := lossOf32(net, x, labels)
+			d[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(g[i])) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %v, numeric %v", p.Name, i, g[i], num)
+			}
+		}
+	}
+}

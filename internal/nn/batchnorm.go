@@ -7,7 +7,7 @@ import (
 	"fedca/internal/tensor"
 )
 
-// BatchNorm2D normalizes each channel over the batch and spatial dimensions
+// BatchNorm2DOf normalizes each channel over the batch and spatial dimensions
 // and applies a learned affine transform (γ, β).
 //
 // Design note: normalization always uses the statistics of the current batch,
@@ -16,50 +16,73 @@ import (
 // stats would be meaningless there; batch statistics sidestep the problem and
 // keep the synchronized state exactly equal to the trainable parameters,
 // which is also what FedCA's update-centric bookkeeping assumes.
-type BatchNorm2D struct {
+//
+// Precision note: channel statistics (mean, variance, the backward channel
+// sums) always accumulate in float64, even for a float32 network — these are
+// long reductions over batch × spatial where float32 accumulation would lose
+// the most. Per-element normalization happens in the working dtype.
+type BatchNorm2DOf[F tensor.Float] struct {
 	C, H, W int
 	Eps     float64
-	Gamma   *Param // "<name>.weight"
-	Beta    *Param // "<name>.bias"
+	Gamma   *ParamOf[F] // "<name>.weight"
+	Beta    *ParamOf[F] // "<name>.bias"
 
 	// caches for backward
-	xhat   []float64
+	xhat   []F
 	invStd []float64
 	batch  int
+
+	arena *tensor.Arena
+	gen   uint64
 }
 
-// NewBatchNorm2D creates a batch-norm layer for [B, C·H·W] inputs.
-func NewBatchNorm2D(name string, c, h, w int) *BatchNorm2D {
-	b := &BatchNorm2D{
+// BatchNorm2D is the float64 batch-norm layer.
+type BatchNorm2D = BatchNorm2DOf[float64]
+
+// NewBatchNorm2DOf creates a batch-norm layer for [B, C·H·W] inputs.
+func NewBatchNorm2DOf[F tensor.Float](name string, c, h, w int) *BatchNorm2DOf[F] {
+	b := &BatchNorm2DOf[F]{
 		C: c, H: h, W: w, Eps: 1e-5,
-		Gamma: newParam(name+".weight", c),
-		Beta:  newParam(name+".bias", c),
+		Gamma: newParamOf[F](name+".weight", c),
+		Beta:  newParamOf[F](name+".bias", c),
 	}
 	b.Gamma.Value.Fill(1)
 	return b
 }
 
+// NewBatchNorm2D creates a float64 batch-norm layer.
+func NewBatchNorm2D(name string, c, h, w int) *BatchNorm2D {
+	return NewBatchNorm2DOf[float64](name, c, h, w)
+}
+
 // Init resets γ to 1 and β to 0.
-func (b *BatchNorm2D) Init(_ *rng.RNG) {
+func (b *BatchNorm2DOf[F]) Init(_ *rng.RNG) {
 	b.Gamma.Value.Fill(1)
 	b.Beta.Value.Zero()
 }
 
+func (b *BatchNorm2DOf[F]) setArena(a *tensor.Arena) { b.arena = a }
+
 // OutDim returns the per-sample feature count (unchanged by normalization).
-func (b *BatchNorm2D) OutDim() int { return b.C * b.H * b.W }
+func (b *BatchNorm2DOf[F]) OutDim() int { return b.C * b.H * b.W }
 
 // Forward normalizes per channel and applies γ, β.
-func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (b *BatchNorm2DOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	batch := x.Dim(0)
 	spatial := b.H * b.W
 	inDim := b.C * spatial
 	n := float64(batch * spatial)
-	y := tensor.New(batch, inDim)
+	y := allocT[F](b.arena, batch, inDim)
 	xd, yd := x.Data(), y.Data()
 	if train {
-		b.xhat = make([]float64, batch*inDim)
-		b.invStd = make([]float64, b.C)
+		b.xhat = allocF[F](b.arena, batch*inDim)
+		if b.arena != nil {
+			b.invStd = b.arena.Float64(b.C)
+		} else {
+			b.invStd = make([]float64, b.C)
+		}
 		b.batch = batch
+		b.gen = stampGen(b.arena)
 	}
 	g, be := b.Gamma.Value.Data(), b.Beta.Value.Data()
 	for c := 0; c < b.C; c++ {
@@ -68,8 +91,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		for i := 0; i < batch; i++ {
 			row := xd[i*inDim+c*spatial : i*inDim+(c+1)*spatial]
 			for _, v := range row {
-				sum += v
-				sum2 += v * v
+				sum += float64(v)
+				sum2 += float64(v) * float64(v)
 			}
 		}
 		mean := sum / n
@@ -81,15 +104,15 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		if train {
 			b.invStd[c] = invStd
 		}
-		gamma, beta := g[c], be[c]
+		gamma, beta := float64(g[c]), float64(be[c])
 		for i := 0; i < batch; i++ {
 			base := i*inDim + c*spatial
 			for j := 0; j < spatial; j++ {
-				xh := (xd[base+j] - mean) * invStd
+				xh := (float64(xd[base+j]) - mean) * invStd
 				if train {
-					b.xhat[base+j] = xh
+					b.xhat[base+j] = F(xh)
 				}
-				yd[base+j] = gamma*xh + beta
+				yd[base+j] = F(gamma*xh + beta)
 			}
 		}
 	}
@@ -97,15 +120,16 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward computes the standard batch-norm gradient.
-func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (b *BatchNorm2DOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	if b.xhat == nil {
 		panic("nn: BatchNorm2D.Backward without prior Forward(train=true)")
 	}
+	checkGen(b.arena, b.gen, "nn.BatchNorm2D")
 	batch := b.batch
 	spatial := b.H * b.W
 	inDim := b.C * spatial
 	n := float64(batch * spatial)
-	dx := tensor.New(batch, inDim)
+	dx := allocT[F](b.arena, batch, inDim)
 	dd, dxd := dout.Data(), dx.Data()
 	gg, bg := b.Gamma.Grad.Data(), b.Beta.Grad.Data()
 	g := b.Gamma.Value.Data()
@@ -115,18 +139,18 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		for i := 0; i < batch; i++ {
 			base := i*inDim + c*spatial
 			for j := 0; j < spatial; j++ {
-				d := dd[base+j]
+				d := float64(dd[base+j])
 				sumD += d
-				sumDX += d * b.xhat[base+j]
+				sumDX += d * float64(b.xhat[base+j])
 			}
 		}
-		gg[c] += sumDX
-		bg[c] += sumD
-		k := g[c] * b.invStd[c] / n
+		gg[c] += F(sumDX)
+		bg[c] += F(sumD)
+		k := float64(g[c]) * b.invStd[c] / n
 		for i := 0; i < batch; i++ {
 			base := i*inDim + c*spatial
 			for j := 0; j < spatial; j++ {
-				dxd[base+j] = k * (n*dd[base+j] - sumD - b.xhat[base+j]*sumDX)
+				dxd[base+j] = F(k * (n*float64(dd[base+j]) - sumD - float64(b.xhat[base+j])*sumDX))
 			}
 		}
 	}
@@ -135,4 +159,4 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns γ and β.
-func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+func (b *BatchNorm2DOf[F]) Params() []*ParamOf[F] { return []*ParamOf[F]{b.Gamma, b.Beta} }

@@ -5,132 +5,206 @@ import (
 	"fedca/internal/tensor"
 )
 
-// Conv2D is a 2-D convolution over [B, C·H·W] inputs with fixed geometry.
+// Conv2DOf is a 2-D convolution over [B, C·H·W] inputs with fixed geometry.
 // The weight has shape [outC, inC·KH·KW]; forward is im2col + GEMM.
-type Conv2D struct {
+type Conv2DOf[F tensor.Float] struct {
 	Geom tensor.ConvGeom
 	OutC int
-	W, B *Param
-	x    *tensor.Tensor
+	W, B *ParamOf[F]
+	x    *tensor.TensorOf[F]
+
+	arena            *tensor.Arena
+	gen              uint64
+	fwdPool, bwdPool scratchPool
+
+	// call is the per-batch state read by the sample runners. It is written
+	// once by the serial layer code before the fan-out and read immutably by
+	// the sample workers, which partition their writes by sample index.
+	// Threading state through the layer instead of a closure keeps the
+	// fan-out allocation-free: a capturing closure would be heap-allocated
+	// per call. The slices are cleared after each fan-out so the layer never
+	// pins a previous iteration's arena memory.
+	call struct {
+		xd, yd, dd, dxd, dWs, dBs []F
+	}
+
+	// fwdRun/bwdRun are the layer's sampleRunner implementations; embedding
+	// them lets Forward/Backward hand parallelSamples a pointer into the
+	// layer, which converts to the interface without allocating.
+	fwdRun convFwdRunnerOf[F]
+	bwdRun convBwdRunnerOf[F]
 }
 
-// convScratch is per-worker scratch reused across samples.
-type convScratch struct {
-	col    *tensor.Tensor  // forward: [pos, patch] patch matrix, operand B of the NT GEMM
-	dcol   *tensor.Tensor  // backward: [pos, patch] patch-gradient matrix
-	packed *tensor.PackedB // backward: patch matrix in packed-panel form (fused im2col)
+// Conv2D is the float64 convolution layer.
+type Conv2D = Conv2DOf[float64]
+
+// convScratchOf is per-worker scratch reused across samples (and, via the
+// layer's scratch pools, across batches). The out/doutS/dWi headers are
+// rebound onto the current sample's rows of the batch buffers each iteration,
+// so no per-sample tensor headers are ever minted.
+type convScratchOf[F tensor.Float] struct {
+	col    *tensor.TensorOf[F]  // forward: [pos, patch] patch matrix, operand B of the NT GEMM
+	out    *tensor.TensorOf[F]  // forward: [outC, pos] header rebound onto the sample's output rows
+	dcol   *tensor.TensorOf[F]  // backward: [pos, patch] patch-gradient matrix
+	packed *tensor.PackedBOf[F] // backward: patch matrix in packed-panel form (fused im2col)
+	doutS  *tensor.TensorOf[F]  // backward: [outC, pos] header rebound onto the sample's dout rows
+	dWi    *tensor.TensorOf[F]  // backward: [outC, patch] header rebound onto the sample's dW slot
 }
 
-// NewConv2D creates a convolution layer with parameters "<name>.weight" and
-// "<name>.bias".
-func NewConv2D(name string, geom tensor.ConvGeom, outC int, r *rng.RNG) *Conv2D {
-	c := &Conv2D{
+// NewConv2DOf creates a convolution layer with parameters "<name>.weight" and
+// "<name>.bias" for any float dtype.
+func NewConv2DOf[F tensor.Float](name string, geom tensor.ConvGeom, outC int, r *rng.RNG) *Conv2DOf[F] {
+	c := &Conv2DOf[F]{
 		Geom: geom,
 		OutC: outC,
-		W:    newParam(name+".weight", outC, geom.ColCols()),
-		B:    newParam(name+".bias", outC),
+		W:    newParamOf[F](name+".weight", outC, geom.ColCols()),
+		B:    newParamOf[F](name+".bias", outC),
 	}
+	c.fwdRun.c = c
+	c.bwdRun.c = c
 	c.seed(r)
 	return c
 }
 
-func (c *Conv2D) seed(r *rng.RNG) {
+// NewConv2D creates a float64 convolution layer.
+func NewConv2D(name string, geom tensor.ConvGeom, outC int, r *rng.RNG) *Conv2D {
+	return NewConv2DOf[float64](name, geom, outC, r)
+}
+
+func (c *Conv2DOf[F]) seed(r *rng.RNG) {
 	InitKaiming(c.W, c.Geom.ColCols(), r)
 	c.B.Value.Zero()
 }
 
 // Init reinitializes the layer's parameters.
-func (c *Conv2D) Init(r *rng.RNG) { c.seed(r) }
+func (c *Conv2DOf[F]) Init(r *rng.RNG) { c.seed(r) }
+
+func (c *Conv2DOf[F]) setArena(a *tensor.Arena) { c.arena = a }
 
 // InDim returns the expected per-sample input feature count.
-func (c *Conv2D) InDim() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
+func (c *Conv2DOf[F]) InDim() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
 
 // OutDim returns the per-sample output feature count.
-func (c *Conv2D) OutDim() int { return c.OutC * c.Geom.OutH * c.Geom.OutW }
+func (c *Conv2DOf[F]) OutDim() int { return c.OutC * c.Geom.OutH * c.Geom.OutW }
 
 // heavy reports whether the batch convolution is worth parallelizing, using
-// the same MAC-count threshold as the GEMM kernels so the sample fan-out and
-// the row fan-out agree on what justifies a goroutine.
-func (c *Conv2D) heavy(batch int) bool {
-	return batch*c.Geom.ColRows()*c.Geom.ColCols()*c.OutC > tensor.ParallelThreshold
+// the same dtype-scaled MAC-count threshold as the GEMM kernels so the sample
+// fan-out and the row fan-out agree on what justifies a goroutine.
+func (c *Conv2DOf[F]) heavy(batch int) bool {
+	return batch*c.Geom.ColRows()*c.Geom.ColCols()*c.OutC > tensor.ParallelThresholdFor[F]()
+}
+
+// convFwdRunnerOf is the forward pass's sampleRunner.
+type convFwdRunnerOf[F tensor.Float] struct{ c *Conv2DOf[F] }
+
+// newScratch builds a forward scratch. Headers are heap-allocated here —
+// scratch persists across batches via the layer's pool.
+func (r *convFwdRunnerOf[F]) newScratch() any {
+	c := r.c
+	pos, patch := c.Geom.ColRows(), c.Geom.ColCols()
+	return &convScratchOf[F]{
+		col: tensor.NewOf[F](pos, patch),
+		out: tensor.NewOf[F](c.OutC, pos),
+	}
+}
+
+// sample computes one sample's convolution into its rows of the batch output.
+func (r *convFwdRunnerOf[F]) sample(i int, scratch any) {
+	c := r.c
+	s := scratch.(*convScratchOf[F])
+	pos := c.Geom.ColRows()
+	inDim, outDim := c.InDim(), c.OutDim()
+	tensor.Im2ColOf(c.Geom, c.call.xd[i*inDim:(i+1)*inDim], s.col.Data())
+	s.out.Rebind(c.call.yd[i*outDim : (i+1)*outDim])
+	tensor.MatMulTransB(s.out, c.W.Value, s.col)
+	bias := c.B.Value.Data()
+	od := s.out.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		b := bias[oc]
+		row := od[oc*pos : (oc+1)*pos]
+		for j := range row {
+			row[j] += b
+		}
+	}
 }
 
 // Forward computes the convolution for each sample in the batch.
-func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (c *Conv2DOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	batch := x.Dim(0)
-	pos := c.Geom.ColRows()
-	patch := c.Geom.ColCols()
-	inDim := c.InDim()
-	y := tensor.New(batch, c.OutDim())
-	xd, yd := x.Data(), y.Data()
-	bias := c.B.Value.Data()
-	parallelSamples(batch, c.heavy(batch), func() interface{} {
-		return &convScratch{col: tensor.New(pos, patch)}
-	}, func(i int, scratch interface{}) {
-		s := scratch.(*convScratch)
-		c.Geom.Im2Col(xd[i*inDim:(i+1)*inDim], s.col.Data())
-		out := tensor.FromSlice(yd[i*c.OutDim():(i+1)*c.OutDim()], c.OutC, pos)
-		tensor.MatMulTransB(out, c.W.Value, s.col)
-		od := out.Data()
-		for oc := 0; oc < c.OutC; oc++ {
-			b := bias[oc]
-			row := od[oc*pos : (oc+1)*pos]
-			for j := range row {
-				row[j] += b
-			}
-		}
-	})
+	y := allocT[F](c.arena, batch, c.OutDim())
+	c.call.xd, c.call.yd = x.Data(), y.Data()
+	parallelSamples(batch, c.heavy(batch), &c.fwdPool, &c.fwdRun)
+	c.call.xd, c.call.yd = nil, nil
 	if train {
 		c.x = x
+		c.gen = stampGen(c.arena)
 	}
 	return y
+}
+
+// convBwdRunnerOf is the backward pass's sampleRunner.
+type convBwdRunnerOf[F tensor.Float] struct{ c *Conv2DOf[F] }
+
+// newScratch builds a backward scratch.
+func (r *convBwdRunnerOf[F]) newScratch() any {
+	c := r.c
+	pos, patch := c.Geom.ColRows(), c.Geom.ColCols()
+	return &convScratchOf[F]{
+		packed: tensor.NewPackedBOf[F](pos, patch),
+		dcol:   tensor.NewOf[F](pos, patch),
+		doutS:  tensor.NewOf[F](c.OutC, pos),
+		dWi:    tensor.NewOf[F](c.OutC, patch),
+	}
+}
+
+// sample computes one sample's input gradient and its private weight/bias
+// gradient contributions.
+func (r *convBwdRunnerOf[F]) sample(i int, scratch any) {
+	c := r.c
+	s := scratch.(*convScratchOf[F])
+	pos, patch := c.Geom.ColRows(), c.Geom.ColCols()
+	inDim, outDim := c.InDim(), c.OutDim()
+	// Fused im2col + pack: the patch matrix is produced once per sample,
+	// directly in the panel layout the dW GEMM consumes as operand B.
+	tensor.Im2ColPackedOf(c.Geom, c.call.xd[i*inDim:(i+1)*inDim], s.packed)
+	s.doutS.Rebind(c.call.dd[i*outDim : (i+1)*outDim])
+	// dW_i[outC,patch] = dout_i[outC,pos] · col[pos,patch]
+	s.dWi.Rebind(c.call.dWs[i*c.OutC*patch : (i+1)*c.OutC*patch])
+	tensor.MatMulPacked(s.dWi, s.doutS, s.packed)
+	// db_i[oc] = Σ_pos dout_i[oc,pos]
+	dsd := s.doutS.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		var sum F
+		for _, v := range dsd[oc*pos : (oc+1)*pos] {
+			sum += v
+		}
+		c.call.dBs[i*c.OutC+oc] = sum
+	}
+	// dcol[pos,patch] = dout_iᵀ[pos,outC] · W[outC,patch]
+	tensor.MatMulTransA(s.dcol, s.doutS, c.W.Value)
+	dxi := c.call.dxd[i*inDim : (i+1)*inDim]
+	tensor.Col2ImOf(c.Geom, s.dcol.Data(), dxi)
 }
 
 // Backward propagates gradients. Per-sample weight/bias gradient
 // contributions are computed in parallel into per-sample buffers and then
 // reduced sequentially in sample order, so the floating-point accumulation
 // order — and therefore the result — is identical at any worker count.
-func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2DOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	if c.x == nil {
 		panic("nn: Conv2D.Backward without prior Forward(train=true)")
 	}
+	checkGen(c.arena, c.gen, "nn.Conv2D")
 	batch := dout.Dim(0)
-	pos := c.Geom.ColRows()
 	patch := c.Geom.ColCols()
 	inDim := c.InDim()
-	outDim := c.OutDim()
-	xd := c.x.Data()
-	dd := dout.Data()
-	dx := tensor.New(batch, inDim)
-	dxd := dx.Data()
+	dx := allocT[F](c.arena, batch, inDim)
 	// Per-sample gradient contributions, reduced in order afterwards.
-	dWs := make([]float64, batch*c.OutC*patch)
-	dBs := make([]float64, batch*c.OutC)
-	parallelSamples(batch, c.heavy(batch), func() interface{} {
-		return &convScratch{packed: tensor.NewPackedB(pos, patch), dcol: tensor.New(pos, patch)}
-	}, func(i int, scratch interface{}) {
-		s := scratch.(*convScratch)
-		// Fused im2col + pack: the patch matrix is produced once per sample,
-		// directly in the panel layout the dW GEMM consumes as operand B.
-		c.Geom.Im2ColPacked(xd[i*inDim:(i+1)*inDim], s.packed)
-		doutS := tensor.FromSlice(dd[i*outDim:(i+1)*outDim], c.OutC, pos)
-		// dW_i[outC,patch] = dout_i[outC,pos] · col[pos,patch]
-		dWi := tensor.FromSlice(dWs[i*c.OutC*patch:(i+1)*c.OutC*patch], c.OutC, patch)
-		tensor.MatMulPacked(dWi, doutS, s.packed)
-		// db_i[oc] = Σ_pos dout_i[oc,pos]
-		dsd := doutS.Data()
-		for oc := 0; oc < c.OutC; oc++ {
-			sum := 0.0
-			for _, v := range dsd[oc*pos : (oc+1)*pos] {
-				sum += v
-			}
-			dBs[i*c.OutC+oc] = sum
-		}
-		// dcol[pos,patch] = dout_iᵀ[pos,outC] · W[outC,patch]
-		tensor.MatMulTransA(s.dcol, doutS, c.W.Value)
-		dxi := dxd[i*inDim : (i+1)*inDim]
-		c.Geom.Col2Im(s.dcol.Data(), dxi)
-	})
+	dWs := allocF[F](c.arena, batch*c.OutC*patch)
+	dBs := allocF[F](c.arena, batch*c.OutC)
+	c.call.xd, c.call.dd, c.call.dxd, c.call.dWs, c.call.dBs = c.x.Data(), dout.Data(), dx.Data(), dWs, dBs
+	parallelSamples(batch, c.heavy(batch), &c.bwdPool, &c.bwdRun)
+	c.call.xd, c.call.dd, c.call.dxd, c.call.dWs, c.call.dBs = nil, nil, nil, nil, nil
 	// Deterministic reduction in sample order.
 	wg := c.W.Grad.Data()
 	for i := 0; i < batch; i++ {
@@ -150,4 +224,4 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns weight and bias.
-func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+func (c *Conv2DOf[F]) Params() []*ParamOf[F] { return []*ParamOf[F]{c.W, c.B} }

@@ -5,38 +5,51 @@ import (
 	"fedca/internal/tensor"
 )
 
-// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape [out, in].
-type Dense struct {
+// DenseOf is a fully connected layer: y = x·Wᵀ + b with W of shape [out, in].
+type DenseOf[F tensor.Float] struct {
 	In, Out int
-	W, B    *Param
-	x       *tensor.Tensor // cached input for Backward
+	W, B    *ParamOf[F]
+	x       *tensor.TensorOf[F] // cached input for Backward
+
+	arena *tensor.Arena
+	gen   uint64
 }
 
-// NewDense creates a dense layer whose parameters are named
-// "<name>.weight" and "<name>.bias".
-func NewDense(name string, in, out int, r *rng.RNG) *Dense {
-	d := &Dense{
+// Dense is the float64 dense layer.
+type Dense = DenseOf[float64]
+
+// NewDenseOf creates a dense layer whose parameters are named
+// "<name>.weight" and "<name>.bias" for any float dtype.
+func NewDenseOf[F tensor.Float](name string, in, out int, r *rng.RNG) *DenseOf[F] {
+	d := &DenseOf[F]{
 		In:  in,
 		Out: out,
-		W:   newParam(name+".weight", out, in),
-		B:   newParam(name+".bias", out),
+		W:   newParamOf[F](name+".weight", out, in),
+		B:   newParamOf[F](name+".bias", out),
 	}
 	d.seed(r)
 	return d
 }
 
-func (d *Dense) seed(r *rng.RNG) {
+// NewDense creates a float64 dense layer.
+func NewDense(name string, in, out int, r *rng.RNG) *Dense {
+	return NewDenseOf[float64](name, in, out, r)
+}
+
+func (d *DenseOf[F]) seed(r *rng.RNG) {
 	InitKaiming(d.W, d.In, r)
 	d.B.Value.Zero()
 }
 
 // Init reinitializes the layer's parameters.
-func (d *Dense) Init(r *rng.RNG) { d.seed(r) }
+func (d *DenseOf[F]) Init(r *rng.RNG) { d.seed(r) }
+
+func (d *DenseOf[F]) setArena(a *tensor.Arena) { d.arena = a }
 
 // Forward computes y[B,out] = x[B,in]·Wᵀ + b.
-func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DenseOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	batch := x.Dim(0)
-	y := tensor.New(batch, d.Out)
+	y := allocT[F](d.arena, batch, d.Out)
 	tensor.MatMulTransB(y, x, d.W.Value)
 	bd := d.B.Value.Data()
 	yd := y.Data()
@@ -48,18 +61,20 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	if train {
 		d.x = x
+		d.gen = stampGen(d.arena)
 	}
 	return y
 }
 
 // Backward computes dx = dout·W, dW += doutᵀ·x, db += Σ_batch dout.
-func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (d *DenseOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	if d.x == nil {
 		panic("nn: Dense.Backward without prior Forward(train=true)")
 	}
+	checkGen(d.arena, d.gen, "nn.Dense")
 	batch := dout.Dim(0)
 	// dW[out,in] += doutᵀ[out,B] · x[B,in]
-	dW := tensor.New(d.Out, d.In)
+	dW := allocT[F](d.arena, d.Out, d.In)
 	tensor.MatMulTransA(dW, dout, d.x)
 	d.W.Grad.Add(dW)
 	// db += column sums of dout
@@ -72,14 +87,14 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx[B,in] = dout[B,out] · W[out,in]
-	dx := tensor.New(batch, d.In)
+	dx := allocT[F](d.arena, batch, d.In)
 	tensor.MatMul(dx, dout, d.W.Value)
 	d.x = nil
 	return dx
 }
 
 // Params returns weight and bias.
-func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+func (d *DenseOf[F]) Params() []*ParamOf[F] { return []*ParamOf[F]{d.W, d.B} }
 
 // OutDim returns the output feature count.
-func (d *Dense) OutDim() int { return d.Out }
+func (d *DenseOf[F]) OutDim() int { return d.Out }

@@ -5,7 +5,7 @@ import (
 	"fedca/internal/tensor"
 )
 
-// Dropout zeroes each activation with probability P during training and
+// DropoutOf zeroes each activation with probability P during training and
 // scales the survivors by 1/(1−P) (inverted dropout), so evaluation needs no
 // rescaling. WideResNet places dropout between the two convolutions of each
 // residual block.
@@ -14,44 +14,58 @@ import (
 // a worker network is shared across clients, so RunClientRound reseeds noise
 // layers per (client, round) via Network.ReseedNoise — masks then depend only
 // on the client and round, not on goroutine scheduling.
-type Dropout struct {
+type DropoutOf[F tensor.Float] struct {
 	P    float64
 	dim  int
 	r    *rng.RNG
 	mask []bool
+
+	arena *tensor.Arena
+	gen   uint64
 }
 
-// NewDropout creates a dropout layer over dim features. It panics unless
+// Dropout is the float64 dropout layer.
+type Dropout = DropoutOf[float64]
+
+// NewDropoutOf creates a dropout layer over dim features. It panics unless
 // 0 ≤ p < 1.
-func NewDropout(p float64, dim int, r *rng.RNG) *Dropout {
+func NewDropoutOf[F tensor.Float](p float64, dim int, r *rng.RNG) *DropoutOf[F] {
 	if p < 0 || p >= 1 {
 		panic("nn: dropout probability must be in [0, 1)")
 	}
-	return &Dropout{P: p, dim: dim, r: r}
+	return &DropoutOf[F]{P: p, dim: dim, r: r}
+}
+
+// NewDropout creates a float64 dropout layer.
+func NewDropout(p float64, dim int, r *rng.RNG) *Dropout {
+	return NewDropoutOf[float64](p, dim, r)
 }
 
 // OutDim returns the feature count (unchanged).
-func (d *Dropout) OutDim() int { return d.dim }
+func (d *DropoutOf[F]) OutDim() int { return d.dim }
 
 // ReseedNoise re-derives the mask stream from the given seed.
-func (d *Dropout) ReseedNoise(seed uint64) { d.r = rng.New(seed) }
+func (d *DropoutOf[F]) ReseedNoise(seed uint64) { d.r = rng.New(seed) }
+
+func (d *DropoutOf[F]) setArena(a *tensor.Arena) { d.arena = a }
 
 // Forward applies the mask during training; evaluation passes through.
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DropoutOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	if !train || d.P == 0 {
 		d.mask = nil
 		return x
 	}
-	y := x.Clone()
+	y := cloneT(d.arena, x)
 	yd := y.Data()
-	d.mask = make([]bool, len(yd))
+	d.mask = allocBools(d.arena, len(yd))
+	d.gen = stampGen(d.arena)
 	scale := 1 / (1 - d.P)
 	for i := range yd {
 		if d.r.Float64() < d.P {
 			yd[i] = 0
 		} else {
 			d.mask[i] = true
-			yd[i] *= scale
+			yd[i] = F(float64(yd[i]) * scale)
 		}
 	}
 	return y
@@ -59,16 +73,17 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward gates and rescales gradients by the forward mask. If Forward ran
 // in eval mode (or P = 0) it passes gradients through.
-func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (d *DropoutOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	if d.mask == nil {
 		return dout
 	}
-	dx := dout.Clone()
+	checkGen(d.arena, d.gen, "nn.Dropout")
+	dx := cloneT(d.arena, dout)
 	dd := dx.Data()
 	scale := 1 / (1 - d.P)
 	for i := range dd {
 		if d.mask[i] {
-			dd[i] *= scale
+			dd[i] = F(float64(dd[i]) * scale)
 		} else {
 			dd[i] = 0
 		}
@@ -78,4 +93,4 @@ func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns nil: dropout has no parameters.
-func (d *Dropout) Params() []*Param { return nil }
+func (d *DropoutOf[F]) Params() []*ParamOf[F] { return nil }

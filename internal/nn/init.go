@@ -4,25 +4,28 @@ import (
 	"math"
 
 	"fedca/internal/rng"
+	"fedca/internal/tensor"
 )
 
 // InitKaiming fills p.Value with Kaiming-normal weights for the given fan-in,
-// the standard initialization for ReLU networks.
-func InitKaiming(p *Param, fanIn int, r *rng.RNG) {
+// the standard initialization for ReLU networks. Draws come from the RNG in
+// float64 regardless of dtype, so a float32 parameter sees exactly the
+// rounded float64 initialization (and consumes the same RNG stream).
+func InitKaiming[F tensor.Float](p *ParamOf[F], fanIn int, r *rng.RNG) {
 	std := math.Sqrt(2.0 / float64(fanIn))
 	d := p.Value.Data()
 	for i := range d {
-		d[i] = r.Normal(0, std)
+		d[i] = F(r.Normal(0, std))
 	}
 }
 
 // InitXavier fills p.Value with Xavier/Glorot-uniform weights, the standard
 // initialization for tanh/sigmoid (LSTM) layers.
-func InitXavier(p *Param, fanIn, fanOut int, r *rng.RNG) {
+func InitXavier[F tensor.Float](p *ParamOf[F], fanIn, fanOut int, r *rng.RNG) {
 	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
 	d := p.Value.Data()
 	for i := range d {
-		d[i] = r.Uniform(-limit, limit)
+		d[i] = F(r.Uniform(-limit, limit))
 	}
 }
 
@@ -31,7 +34,7 @@ func InitXavier(p *Param, fanIn, fanOut int, r *rng.RNG) {
 // their shape, biases and norm offsets get zero, norm scales get one.
 // Layers that need bespoke init (LSTM) do it at construction; this is the
 // generic path used when (re)seeding a model.
-func InitNetwork(n *Network, r *rng.RNG) {
+func InitNetwork[F tensor.Float](n *NetworkOf[F], r *rng.RNG) {
 	for _, l := range n.Layers {
 		if init, ok := l.(interface{ Init(*rng.RNG) }); ok {
 			init.Init(r)

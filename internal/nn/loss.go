@@ -8,45 +8,58 @@ import (
 
 // SoftmaxCrossEntropy computes the mean cross-entropy loss of logits [B, C]
 // against integer labels and the gradient dL/dlogits in one pass (the fused
-// softmax-CE backward: (softmax − onehot)/B).
-func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor) {
+// softmax-CE backward: (softmax − onehot)/B). The log-sum-exp runs in float64
+// for both dtypes; a float32 network rounds the gradient on store.
+func SoftmaxCrossEntropy[F tensor.Float](logits *tensor.TensorOf[F], labels []int) (loss float64, dlogits *tensor.TensorOf[F]) {
+	dlogits = tensor.NewOf[F](logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(logits, labels, dlogits)
+	return loss, dlogits
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy with a caller-supplied
+// gradient destination (typically arena-allocated), so the loss itself adds
+// nothing to the steady-state allocation count.
+func SoftmaxCrossEntropyInto[F tensor.Float](logits *tensor.TensorOf[F], labels []int, dlogits *tensor.TensorOf[F]) float64 {
 	batch, classes := logits.Dim(0), logits.Dim(1)
 	if len(labels) != batch {
 		panic("nn: SoftmaxCrossEntropy labels length mismatch")
 	}
-	dlogits = tensor.New(batch, classes)
+	if !dlogits.SameShape(logits) {
+		panic("nn: SoftmaxCrossEntropyInto dlogits shape mismatch")
+	}
 	ld, dd := logits.Data(), dlogits.Data()
+	loss := 0.0
 	invB := 1.0 / float64(batch)
 	for b := 0; b < batch; b++ {
 		row := ld[b*classes : (b+1)*classes]
 		// log-sum-exp with max subtraction for stability
-		maxv := row[0]
+		maxv := float64(row[0])
 		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
+			if float64(v) > maxv {
+				maxv = float64(v)
 			}
 		}
 		sum := 0.0
 		for _, v := range row {
-			sum += math.Exp(v - maxv)
+			sum += math.Exp(float64(v) - maxv)
 		}
 		logZ := maxv + math.Log(sum)
 		y := labels[b]
 		if y < 0 || y >= classes {
 			panic("nn: SoftmaxCrossEntropy label out of range")
 		}
-		loss += (logZ - row[y]) * invB
+		loss += (logZ - float64(row[y])) * invB
 		drow := dd[b*classes : (b+1)*classes]
 		for j, v := range row {
-			drow[j] = math.Exp(v-logZ) * invB
+			drow[j] = F(math.Exp(float64(v)-logZ) * invB)
 		}
-		drow[y] -= invB
+		drow[y] -= F(invB)
 	}
-	return loss, dlogits
+	return loss
 }
 
 // Accuracy returns the fraction of rows whose argmax matches the label.
-func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+func Accuracy[F tensor.Float](logits *tensor.TensorOf[F], labels []int) float64 {
 	batch := logits.Dim(0)
 	if batch == 0 {
 		return 0

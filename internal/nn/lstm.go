@@ -8,43 +8,62 @@ import (
 	"fedca/internal/tensor"
 )
 
-// LSTM is a (possibly multi-layer) LSTM over [B, T·D] inputs, returning the
+// LSTMOf is a (possibly multi-layer) LSTM over [B, T·D] inputs, returning the
 // last hidden state of the top layer, [B, H]. Parameter names follow the
 // PyTorch convention the paper's figures use: "<name>.weight_ih_l0",
 // "<name>.weight_hh_l0", "<name>.bias_ih_l0", "<name>.bias_hh_l0", and the
 // same with l1, l2, … for deeper stacks. Gate order is i, f, g, o.
-type LSTM struct {
+//
+// Gate nonlinearities evaluate in float64 for both dtypes (math.Exp/Tanh have
+// no float32 form in the standard library); a float32 network rounds the
+// results to its working precision, while GEMMs and elementwise state updates
+// run in the working dtype.
+type LSTMOf[F tensor.Float] struct {
 	InDim, Hidden, T, NumLayers int
-	layers                      []*lstmLayer
+	layers                      []*lstmLayerOf[F]
+
+	arena *tensor.Arena
+	gen   uint64
+	seq   []*tensor.TensorOf[F] // persistent timestep-slicing buffer
+	dhSeq []*tensor.TensorOf[F] // persistent backward buffer
 }
 
-type lstmLayer struct {
+// LSTM is the float64 LSTM.
+type LSTM = LSTMOf[float64]
+
+type lstmLayerOf[F tensor.Float] struct {
 	in, hidden         int
-	wih, whh, bih, bhh *Param
-	// BPTT caches, one entry per timestep
-	xs, hPrevs, cPrevs     []*tensor.Tensor
-	is, fs, gs, os, tanhCs []*tensor.Tensor
+	wih, whh, bih, bhh *ParamOf[F]
+	arena              *tensor.Arena
+	// BPTT caches, one entry per timestep; the slice headers persist across
+	// iterations (reset to length zero, capacity kept) so steady-state
+	// training appends without allocating.
+	xs, hPrevs, cPrevs     []*tensor.TensorOf[F]
+	is, fs, gs, os, tanhCs []*tensor.TensorOf[F]
+	out                    []*tensor.TensorOf[F] // persistent forward output buffer
+	dxSeq                  []*tensor.TensorOf[F] // persistent bptt output buffer
 	batch                  int
 }
 
-// NewLSTM builds an LSTM stack. seqLen is the fixed number of timesteps T.
-func NewLSTM(name string, inDim, hidden, seqLen, numLayers int, r *rng.RNG) *LSTM {
+// NewLSTMOf builds an LSTM stack for any float dtype. seqLen is the fixed
+// number of timesteps T.
+func NewLSTMOf[F tensor.Float](name string, inDim, hidden, seqLen, numLayers int, r *rng.RNG) *LSTMOf[F] {
 	if numLayers < 1 {
 		panic("nn: LSTM needs at least one layer")
 	}
-	l := &LSTM{InDim: inDim, Hidden: hidden, T: seqLen, NumLayers: numLayers}
+	l := &LSTMOf[F]{InDim: inDim, Hidden: hidden, T: seqLen, NumLayers: numLayers}
 	for i := 0; i < numLayers; i++ {
 		in := inDim
 		if i > 0 {
 			in = hidden
 		}
-		ll := &lstmLayer{
+		ll := &lstmLayerOf[F]{
 			in:     in,
 			hidden: hidden,
-			wih:    newParam(fmt.Sprintf("%s.weight_ih_l%d", name, i), 4*hidden, in),
-			whh:    newParam(fmt.Sprintf("%s.weight_hh_l%d", name, i), 4*hidden, hidden),
-			bih:    newParam(fmt.Sprintf("%s.bias_ih_l%d", name, i), 4*hidden),
-			bhh:    newParam(fmt.Sprintf("%s.bias_hh_l%d", name, i), 4*hidden),
+			wih:    newParamOf[F](fmt.Sprintf("%s.weight_ih_l%d", name, i), 4*hidden, in),
+			whh:    newParamOf[F](fmt.Sprintf("%s.weight_hh_l%d", name, i), 4*hidden, hidden),
+			bih:    newParamOf[F](fmt.Sprintf("%s.bias_ih_l%d", name, i), 4*hidden),
+			bhh:    newParamOf[F](fmt.Sprintf("%s.bias_hh_l%d", name, i), 4*hidden),
 		}
 		l.layers = append(l.layers, ll)
 	}
@@ -52,9 +71,14 @@ func NewLSTM(name string, inDim, hidden, seqLen, numLayers int, r *rng.RNG) *LST
 	return l
 }
 
+// NewLSTM builds a float64 LSTM stack.
+func NewLSTM(name string, inDim, hidden, seqLen, numLayers int, r *rng.RNG) *LSTM {
+	return NewLSTMOf[float64](name, inDim, hidden, seqLen, numLayers, r)
+}
+
 // Init applies Xavier initialization to the recurrent weights and sets the
 // forget-gate bias to 1 (the classic trick for stable early training).
-func (l *LSTM) Init(r *rng.RNG) {
+func (l *LSTMOf[F]) Init(r *rng.RNG) {
 	for _, ll := range l.layers {
 		InitXavier(ll.wih, ll.in, ll.hidden, r)
 		InitXavier(ll.whh, ll.hidden, ll.hidden, r)
@@ -68,12 +92,19 @@ func (l *LSTM) Init(r *rng.RNG) {
 	}
 }
 
+func (l *LSTMOf[F]) setArena(a *tensor.Arena) {
+	l.arena = a
+	for _, ll := range l.layers {
+		ll.arena = a
+	}
+}
+
 // OutDim returns the hidden size H.
-func (l *LSTM) OutDim() int { return l.Hidden }
+func (l *LSTMOf[F]) OutDim() int { return l.Hidden }
 
 // Params returns all stacked-layer parameters in layer order.
-func (l *LSTM) Params() []*Param {
-	var ps []*Param
+func (l *LSTMOf[F]) Params() []*ParamOf[F] {
+	var ps []*ParamOf[F]
 	for _, ll := range l.layers {
 		ps = append(ps, ll.wih, ll.whh, ll.bih, ll.bhh)
 	}
@@ -84,12 +115,12 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // step runs one timestep: given x [B,in], hPrev and cPrev [B,H], it returns
 // h and c and (when train) caches everything needed for backward.
-func (ll *lstmLayer) step(x, hPrev, cPrev *tensor.Tensor, train bool) (h, c *tensor.Tensor) {
+func (ll *lstmLayerOf[F]) step(x, hPrev, cPrev *tensor.TensorOf[F], train bool) (h, c *tensor.TensorOf[F]) {
 	batch := x.Dim(0)
 	hid := ll.hidden
-	gates := tensor.New(batch, 4*hid)
+	gates := allocT[F](ll.arena, batch, 4*hid)
 	tensor.MatMulTransB(gates, x, ll.wih.Value)
-	hh := tensor.New(batch, 4*hid)
+	hh := allocT[F](ll.arena, batch, 4*hid)
 	tensor.MatMulTransB(hh, hPrev, ll.whh.Value)
 	gates.Add(hh)
 	gd := gates.Data()
@@ -100,30 +131,30 @@ func (ll *lstmLayer) step(x, hPrev, cPrev *tensor.Tensor, train bool) (h, c *ten
 			row[j] += bi[j] + bh[j]
 		}
 	}
-	i := tensor.New(batch, hid)
-	f := tensor.New(batch, hid)
-	g := tensor.New(batch, hid)
-	o := tensor.New(batch, hid)
-	c = tensor.New(batch, hid)
-	h = tensor.New(batch, hid)
-	tc := tensor.New(batch, hid)
+	i := allocT[F](ll.arena, batch, hid)
+	f := allocT[F](ll.arena, batch, hid)
+	g := allocT[F](ll.arena, batch, hid)
+	o := allocT[F](ll.arena, batch, hid)
+	c = allocT[F](ll.arena, batch, hid)
+	h = allocT[F](ll.arena, batch, hid)
+	tc := allocT[F](ll.arena, batch, hid)
 	id, fd, gdd, od := i.Data(), f.Data(), g.Data(), o.Data()
 	cd, hd, tcd := c.Data(), h.Data(), tc.Data()
 	cp := cPrev.Data()
 	for b := 0; b < batch; b++ {
 		row := gd[b*4*hid : (b+1)*4*hid]
 		for j := 0; j < hid; j++ {
-			iv := sigmoid(row[j])
-			fv := sigmoid(row[hid+j])
-			gv := math.Tanh(row[2*hid+j])
-			ov := sigmoid(row[3*hid+j])
-			cv := fv*cp[b*hid+j] + iv*gv
+			iv := sigmoid(float64(row[j]))
+			fv := sigmoid(float64(row[hid+j]))
+			gv := math.Tanh(float64(row[2*hid+j]))
+			ov := sigmoid(float64(row[3*hid+j]))
+			cv := fv*float64(cp[b*hid+j]) + iv*gv
 			tcv := math.Tanh(cv)
 			idx := b*hid + j
-			id[idx], fd[idx], gdd[idx], od[idx] = iv, fv, gv, ov
-			cd[idx] = cv
-			tcd[idx] = tcv
-			hd[idx] = ov * tcv
+			id[idx], fd[idx], gdd[idx], od[idx] = F(iv), F(fv), F(gv), F(ov)
+			cd[idx] = F(cv)
+			tcd[idx] = F(tcv)
+			hd[idx] = F(ov * tcv)
 		}
 	}
 	if train {
@@ -140,34 +171,41 @@ func (ll *lstmLayer) step(x, hPrev, cPrev *tensor.Tensor, train bool) (h, c *ten
 }
 
 // Forward consumes [B, T·D] and returns the top layer's last hidden state.
-func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (l *LSTMOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	batch := x.Dim(0)
 	if x.Dim(1) != l.T*l.InDim {
 		panic(fmt.Sprintf("nn: LSTM input dim %d, want T·D = %d", x.Dim(1), l.T*l.InDim))
 	}
 	// Slice the sequence into per-timestep tensors once.
-	seq := make([]*tensor.Tensor, l.T)
+	if l.seq == nil {
+		l.seq = make([]*tensor.TensorOf[F], l.T)
+	}
+	seq := l.seq
 	xd := x.Data()
 	for t := 0; t < l.T; t++ {
-		xt := tensor.New(batch, l.InDim)
+		xt := allocT[F](l.arena, batch, l.InDim)
 		xtd := xt.Data()
 		for b := 0; b < batch; b++ {
 			copy(xtd[b*l.InDim:(b+1)*l.InDim], xd[b*l.T*l.InDim+t*l.InDim:b*l.T*l.InDim+(t+1)*l.InDim])
 		}
 		seq[t] = xt
 	}
-	var lastH *tensor.Tensor
+	var lastH *tensor.TensorOf[F]
 	for li, ll := range l.layers {
 		if train {
-			ll.xs = nil
-			ll.hPrevs = nil
-			ll.cPrevs = nil
-			ll.is, ll.fs, ll.gs, ll.os, ll.tanhCs = nil, nil, nil, nil, nil
+			ll.xs = ll.xs[:0]
+			ll.hPrevs = ll.hPrevs[:0]
+			ll.cPrevs = ll.cPrevs[:0]
+			ll.is, ll.fs = ll.is[:0], ll.fs[:0]
+			ll.gs, ll.os, ll.tanhCs = ll.gs[:0], ll.os[:0], ll.tanhCs[:0]
 			ll.batch = batch
 		}
-		h := tensor.New(batch, l.Hidden)
-		c := tensor.New(batch, l.Hidden)
-		out := make([]*tensor.Tensor, l.T)
+		h := allocT[F](ll.arena, batch, l.Hidden)
+		c := allocT[F](ll.arena, batch, l.Hidden)
+		if ll.out == nil {
+			ll.out = make([]*tensor.TensorOf[F], l.T)
+		}
+		out := ll.out
 		for t := 0; t < l.T; t++ {
 			h, c = ll.step(seq[t], h, c, train)
 			out[t] = h
@@ -177,25 +215,32 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			lastH = h
 		}
 	}
+	if train {
+		l.gen = stampGen(l.arena)
+	}
 	return lastH
 }
 
 // Backward runs truncated-free BPTT over the cached sequence. dout is the
 // gradient of the top layer's last hidden state.
-func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (l *LSTMOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	top := len(l.layers) - 1
 	if len(l.layers[top].xs) != l.T {
 		panic("nn: LSTM.Backward without prior Forward(train=true)")
 	}
+	checkGen(l.arena, l.gen, "nn.LSTM")
 	batch := l.layers[top].batch
 	// dhSeq[t] is the gradient flowing into layer L's hidden output at t
 	// from above (the layer above's dx, or the head loss for the top layer).
-	dhSeq := make([]*tensor.Tensor, l.T)
+	if l.dhSeq == nil {
+		l.dhSeq = make([]*tensor.TensorOf[F], l.T)
+	}
+	dhSeq := l.dhSeq
 	for t := range dhSeq {
-		dhSeq[t] = tensor.New(batch, l.Hidden)
+		dhSeq[t] = allocT[F](l.arena, batch, l.Hidden)
 	}
 	dhSeq[l.T-1].CopyFrom(dout)
-	var dxSeq []*tensor.Tensor
+	var dxSeq []*tensor.TensorOf[F]
 	for li := top; li >= 0; li-- {
 		dxSeq = l.layers[li].bptt(dhSeq)
 		if li > 0 {
@@ -203,7 +248,7 @@ func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// Reassemble [B, T·D] input gradient from the bottom layer's dx.
-	dx := tensor.New(batch, l.T*l.InDim)
+	dx := allocT[F](l.arena, batch, l.T*l.InDim)
 	dxd := dx.Data()
 	for t := 0; t < l.T; t++ {
 		sd := dxSeq[t].Data()
@@ -217,16 +262,19 @@ func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // bptt backpropagates through one layer's cached sequence. dhSeq[t] carries
 // the external gradient on h_t; the recurrent gradient is threaded
 // internally. It returns the per-timestep input gradients.
-func (ll *lstmLayer) bptt(dhSeq []*tensor.Tensor) []*tensor.Tensor {
+func (ll *lstmLayerOf[F]) bptt(dhSeq []*tensor.TensorOf[F]) []*tensor.TensorOf[F] {
 	T := len(ll.xs)
 	batch := ll.batch
 	hid := ll.hidden
-	dxSeq := make([]*tensor.Tensor, T)
-	dhNext := tensor.New(batch, hid) // recurrent dL/dh flowing from t+1
-	dcNext := tensor.New(batch, hid)
-	dgates := tensor.New(batch, 4*hid)
+	if ll.dxSeq == nil {
+		ll.dxSeq = make([]*tensor.TensorOf[F], T)
+	}
+	dxSeq := ll.dxSeq
+	dhNext := allocT[F](ll.arena, batch, hid) // recurrent dL/dh flowing from t+1
+	dcNext := allocT[F](ll.arena, batch, hid)
+	dgates := allocT[F](ll.arena, batch, 4*hid)
 	for t := T - 1; t >= 0; t-- {
-		dh := dhSeq[t].Clone()
+		dh := cloneT(ll.arena, dhSeq[t])
 		dh.Add(dhNext)
 		id, fd, gd, od := ll.is[t].Data(), ll.fs[t].Data(), ll.gs[t].Data(), ll.os[t].Data()
 		tcd := ll.tanhCs[t].Data()
@@ -234,33 +282,33 @@ func (ll *lstmLayer) bptt(dhSeq []*tensor.Tensor) []*tensor.Tensor {
 		dhd := dh.Data()
 		dcn := dcNext.Data()
 		dgd := dgates.Data()
-		dcPrev := tensor.New(batch, hid)
+		dcPrev := allocT[F](ll.arena, batch, hid)
 		dcp := dcPrev.Data()
 		for b := 0; b < batch; b++ {
 			for j := 0; j < hid; j++ {
 				idx := b*hid + j
-				dhv := dhd[idx]
-				o := od[idx]
-				tc := tcd[idx]
-				dc := dhv*o*(1-tc*tc) + dcn[idx]
-				i, f, g := id[idx], fd[idx], gd[idx]
+				dhv := float64(dhd[idx])
+				o := float64(od[idx])
+				tc := float64(tcd[idx])
+				dc := dhv*o*(1-tc*tc) + float64(dcn[idx])
+				i, f, g := float64(id[idx]), float64(fd[idx]), float64(gd[idx])
 				di := dc * g
-				df := dc * cpd[idx]
+				df := dc * float64(cpd[idx])
 				dg := dc * i
 				do := dhv * tc
 				base := b * 4 * hid
-				dgd[base+j] = di * i * (1 - i)
-				dgd[base+hid+j] = df * f * (1 - f)
-				dgd[base+2*hid+j] = dg * (1 - g*g)
-				dgd[base+3*hid+j] = do * o * (1 - o)
-				dcp[idx] = dc * f
+				dgd[base+j] = F(di * i * (1 - i))
+				dgd[base+hid+j] = F(df * f * (1 - f))
+				dgd[base+2*hid+j] = F(dg * (1 - g*g))
+				dgd[base+3*hid+j] = F(do * o * (1 - o))
+				dcp[idx] = F(dc * f)
 			}
 		}
 		// Parameter gradients: dWih += dgatesᵀ·x, dWhh += dgatesᵀ·hPrev.
-		dWih := tensor.New(4*hid, ll.in)
+		dWih := allocT[F](ll.arena, 4*hid, ll.in)
 		tensor.MatMulTransA(dWih, dgates, ll.xs[t])
 		ll.wih.Grad.Add(dWih)
-		dWhh := tensor.New(4*hid, hid)
+		dWhh := allocT[F](ll.arena, 4*hid, hid)
 		tensor.MatMulTransA(dWhh, dgates, ll.hPrevs[t])
 		ll.whh.Grad.Add(dWhh)
 		bi, bh := ll.bih.Grad.Data(), ll.bhh.Grad.Data()
@@ -272,16 +320,17 @@ func (ll *lstmLayer) bptt(dhSeq []*tensor.Tensor) []*tensor.Tensor {
 			}
 		}
 		// Input and recurrent gradients.
-		dx := tensor.New(batch, ll.in)
+		dx := allocT[F](ll.arena, batch, ll.in)
 		tensor.MatMul(dx, dgates, ll.wih.Value)
 		dxSeq[t] = dx
-		dhPrev := tensor.New(batch, hid)
+		dhPrev := allocT[F](ll.arena, batch, hid)
 		tensor.MatMul(dhPrev, dgates, ll.whh.Value)
 		dhNext = dhPrev
 		dcNext = dcPrev
 	}
-	// Release caches.
-	ll.xs, ll.hPrevs, ll.cPrevs = nil, nil, nil
-	ll.is, ll.fs, ll.gs, ll.os, ll.tanhCs = nil, nil, nil, nil, nil
+	// Release caches (capacity is kept for the next Forward).
+	ll.xs, ll.hPrevs, ll.cPrevs = ll.xs[:0], ll.hPrevs[:0], ll.cPrevs[:0]
+	ll.is, ll.fs = ll.is[:0], ll.fs[:0]
+	ll.gs, ll.os, ll.tanhCs = ll.gs[:0], ll.os[:0], ll.tanhCs[:0]
 	return dxSeq
 }

@@ -9,6 +9,19 @@
 // construction time. Each layer caches what it needs during Forward and
 // consumes the cache in Backward, so the usage pattern is strictly
 // forward-then-backward per batch (as in a standard training loop).
+//
+// Dtype: every layer is generic over tensor.Float. The float64 instantiation
+// is the historical API and keeps its original names via aliases (Param,
+// Layer, Network, …); the float32 instantiation is the mixed-precision client
+// compute path — master weights and aggregation stay float64 outside this
+// package, with FlatParams/SetFlatParams converting at the boundary.
+//
+// Arena: a network may be bound to a tensor.Arena (SetArena), in which case
+// layers bump-allocate all per-iteration scratch — activations, masks,
+// per-sample gradient buffers — from the arena instead of make. The training
+// loop resets the arena once per iteration; layers stamp the arena generation
+// at Forward and check it in Backward, so using a cache across a Reset panics
+// instead of silently reading recycled memory.
 package nn
 
 import (
@@ -17,47 +30,117 @@ import (
 	"fedca/internal/tensor"
 )
 
-// Param is a named trainable parameter with its gradient accumulator.
+// ParamOf is a named trainable parameter with its gradient accumulator.
 // Names are hierarchical with dots, e.g. "conv1.weight", "fc2.bias",
 // "rnn.weight_ih_l0", "conv3.0.residual.0.weight" — deliberately matching the
 // PyTorch-style names the paper's figures reference.
-type Param struct {
+type ParamOf[F tensor.Float] struct {
 	Name  string
-	Value *tensor.Tensor
-	Grad  *tensor.Tensor
+	Value *tensor.TensorOf[F]
+	Grad  *tensor.TensorOf[F]
 }
 
-// newParam allocates a parameter and its gradient with the same shape.
-func newParam(name string, shape ...int) *Param {
-	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+// Param is the float64 parameter, the aggregation-side dtype.
+type Param = ParamOf[float64]
+
+// newParamOf allocates a parameter and its gradient with the same shape.
+// Parameters are long-lived and never come from an arena.
+func newParamOf[F tensor.Float](name string, shape ...int) *ParamOf[F] {
+	return &ParamOf[F]{Name: name, Value: tensor.NewOf[F](shape...), Grad: tensor.NewOf[F](shape...)}
 }
 
-// Layer is one differentiable stage of a network.
-type Layer interface {
+// newParam allocates a float64 parameter, the historical form of newParamOf.
+func newParam(name string, shape ...int) *Param { return newParamOf[float64](name, shape...) }
+
+// LayerOf is one differentiable stage of a network.
+type LayerOf[F tensor.Float] interface {
 	// Forward computes the layer output for a batch. train toggles
 	// training-only behaviour (batch-norm statistics, dropout).
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F]
 	// Backward receives dL/d(output) and returns dL/d(input), accumulating
 	// parameter gradients into Params().Grad. It must be called exactly once
 	// after each Forward with train=true.
-	Backward(dout *tensor.Tensor) *tensor.Tensor
+	Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F]
 	// Params returns the layer's trainable parameters (possibly empty).
-	Params() []*Param
+	Params() []*ParamOf[F]
 	// OutDim returns the per-sample output feature count.
 	OutDim() int
 }
 
-// Network is a sequential composition of layers with a stable, flat list of
-// named parameters.
-type Network struct {
-	Layers []Layer
-	params []*Param
+// Layer is the float64 layer interface.
+type Layer = LayerOf[float64]
+
+// arenaLayer is implemented by layers that can draw per-iteration scratch
+// from an arena.
+type arenaLayer interface {
+	setArena(*tensor.Arena)
 }
 
-// NewNetwork builds a network from layers and collects their parameters in
+// allocT allocates a zeroed tensor from the arena when one is bound, else
+// from the heap.
+func allocT[F tensor.Float](a *tensor.Arena, shape ...int) *tensor.TensorOf[F] {
+	if a != nil {
+		return tensor.AllocOf[F](a, shape...)
+	}
+	return tensor.NewOf[F](shape...)
+}
+
+// allocF allocates a zeroed []F from the arena when one is bound.
+func allocF[F tensor.Float](a *tensor.Arena, n int) []F {
+	if a != nil {
+		return tensor.ArenaSlice[F](a, n)
+	}
+	return make([]F, n)
+}
+
+// allocBools allocates a zeroed mask from the arena when one is bound.
+func allocBools(a *tensor.Arena, n int) []bool {
+	if a != nil {
+		return a.Bools(n)
+	}
+	return make([]bool, n)
+}
+
+// cloneT copies x into a fresh tensor drawn from the arena when one is bound.
+func cloneT[F tensor.Float](a *tensor.Arena, x *tensor.TensorOf[F]) *tensor.TensorOf[F] {
+	if a == nil {
+		return x.Clone()
+	}
+	y := tensor.AllocOf[F](a, x.Shape()...)
+	copy(y.Data(), x.Data())
+	return y
+}
+
+// stampGen records the current arena generation (0 without an arena).
+func stampGen(a *tensor.Arena) uint64 {
+	if a != nil {
+		return a.Gen()
+	}
+	return 0
+}
+
+// checkGen panics if the arena was Reset since gen was stamped.
+func checkGen(a *tensor.Arena, gen uint64, owner string) {
+	if a != nil {
+		a.CheckGen(gen, owner)
+	}
+}
+
+// NetworkOf is a sequential composition of layers with a stable, flat list of
+// named parameters.
+type NetworkOf[F tensor.Float] struct {
+	Layers []LayerOf[F]
+	params []*ParamOf[F]
+	arena  *tensor.Arena
+}
+
+// Network is the float64 network.
+type Network = NetworkOf[float64]
+
+// NewNetworkOf builds a network from layers and collects their parameters in
 // order. Duplicate parameter names are a construction bug and panic.
-func NewNetwork(layers ...Layer) *Network {
-	n := &Network{Layers: layers}
+func NewNetworkOf[F tensor.Float](layers ...LayerOf[F]) *NetworkOf[F] {
+	n := &NetworkOf[F]{Layers: layers}
 	seen := make(map[string]bool)
 	for _, l := range layers {
 		for _, p := range l.Params() {
@@ -71,8 +154,28 @@ func NewNetwork(layers ...Layer) *Network {
 	return n
 }
 
+// NewNetwork builds a float64 network. Type inference cannot flow through the
+// Layer interface, so the float64 constructor stays concrete.
+func NewNetwork(layers ...Layer) *Network { return NewNetworkOf[float64](layers...) }
+
+// SetArena binds an arena to every layer of the network (including layers
+// nested in residual blocks). Passing nil detaches it and layers fall back to
+// heap allocation. The caller owns the Reset cadence: once per training
+// iteration, after the optimizer step.
+func (n *NetworkOf[F]) SetArena(a *tensor.Arena) {
+	n.arena = a
+	n.VisitLayers(func(l LayerOf[F]) {
+		if al, ok := l.(arenaLayer); ok {
+			al.setArena(a)
+		}
+	})
+}
+
+// Arena returns the bound arena, or nil.
+func (n *NetworkOf[F]) Arena() *tensor.Arena { return n.arena }
+
 // Forward runs the full network.
-func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (n *NetworkOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
 	}
@@ -80,7 +183,7 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward propagates dout through all layers in reverse.
-func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (n *NetworkOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dout = n.Layers[i].Backward(dout)
 	}
@@ -88,17 +191,17 @@ func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns all parameters in construction order.
-func (n *Network) Params() []*Param { return n.params }
+func (n *NetworkOf[F]) Params() []*ParamOf[F] { return n.params }
 
 // ZeroGrad clears every parameter gradient.
-func (n *Network) ZeroGrad() {
+func (n *NetworkOf[F]) ZeroGrad() {
 	for _, p := range n.params {
 		p.Grad.Zero()
 	}
 }
 
 // NumParams returns the total scalar parameter count.
-func (n *Network) NumParams() int {
+func (n *NetworkOf[F]) NumParams() int {
 	total := 0
 	for _, p := range n.params {
 		total += p.Value.Size()
@@ -106,26 +209,34 @@ func (n *Network) NumParams() int {
 	return total
 }
 
-// FlatParams copies all parameter values into a single flat vector, in
-// construction order. The layout is stable across calls.
-func (n *Network) FlatParams() []float64 {
+// FlatParams copies all parameter values into a single flat float64 vector,
+// in construction order. The layout is stable across calls and across dtypes:
+// a float32 network widens each value, so the flat vector is always the
+// aggregation-side float64 view.
+func (n *NetworkOf[F]) FlatParams() []float64 {
 	out := make([]float64, 0, n.NumParams())
 	for _, p := range n.params {
-		out = append(out, p.Value.Data()...)
+		for _, v := range p.Value.Data() {
+			out = append(out, float64(v))
+		}
 	}
 	return out
 }
 
-// SetFlatParams loads parameter values from a flat vector produced by
-// FlatParams (or by aggregation of such vectors).
-func (n *Network) SetFlatParams(flat []float64) {
+// SetFlatParams loads parameter values from a flat float64 vector produced by
+// FlatParams (or by aggregation of such vectors). A float32 network rounds
+// each master value to its working precision here — the single, well-defined
+// narrowing point of the mixed-precision path.
+func (n *NetworkOf[F]) SetFlatParams(flat []float64) {
 	if len(flat) != n.NumParams() {
 		panic(fmt.Sprintf("nn: SetFlatParams got %d values, want %d", len(flat), n.NumParams()))
 	}
 	off := 0
 	for _, p := range n.params {
 		d := p.Value.Data()
-		copy(d, flat[off:off+len(d)])
+		for i := range d {
+			d[i] = F(flat[off+i])
+		}
 		off += len(d)
 	}
 }
@@ -133,7 +244,7 @@ func (n *Network) SetFlatParams(flat []float64) {
 // ParamRanges returns, for each named parameter in order, its [start, end)
 // range within the flat vector. FedCA uses this to slice per-layer updates
 // out of a flat accumulated update.
-func (n *Network) ParamRanges() []ParamRange {
+func (n *NetworkOf[F]) ParamRanges() []ParamRange {
 	out := make([]ParamRange, 0, len(n.params))
 	off := 0
 	for _, p := range n.params {
@@ -145,12 +256,12 @@ func (n *Network) ParamRanges() []ParamRange {
 }
 
 // VisitLayers walks every layer depth-first, descending into residual blocks.
-func (n *Network) VisitLayers(fn func(Layer)) {
-	var walk func(ls []Layer)
-	walk = func(ls []Layer) {
+func (n *NetworkOf[F]) VisitLayers(fn func(LayerOf[F])) {
+	var walk func(ls []LayerOf[F])
+	walk = func(ls []LayerOf[F]) {
 		for _, l := range ls {
 			fn(l)
-			if r, ok := l.(*Residual); ok {
+			if r, ok := l.(*ResidualOf[F]); ok {
 				walk(r.Body)
 				walk(r.Shortcut)
 			}
@@ -163,9 +274,9 @@ func (n *Network) VisitLayers(fn func(Layer)) {
 // seed. The FL executor calls this per (client, round) so that stochastic
 // layers stay deterministic even when worker networks are shared across
 // clients.
-func (n *Network) ReseedNoise(seed uint64) {
+func (n *NetworkOf[F]) ReseedNoise(seed uint64) {
 	i := uint64(0)
-	n.VisitLayers(func(l Layer) {
+	n.VisitLayers(func(l LayerOf[F]) {
 		if nl, ok := l.(interface{ ReseedNoise(uint64) }); ok {
 			nl.ReseedNoise(seed + 0x9e3779b97f4a7c15*(i+1))
 			i++

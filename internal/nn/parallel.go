@@ -7,10 +7,51 @@ import (
 	"fedca/internal/cputok"
 )
 
-// parallelSamples runs fn(i) for i in [0, n), fanning out across workers when
-// the per-item work is heavy (convolutions over a batch). Each index is
-// processed by exactly one worker, so any writes partitioned by i are
-// race-free and the result is independent of scheduling.
+// sampleRunner is the per-sample work of one layer call: newScratch builds a
+// worker's reusable scratch, sample processes index i with it. Implementations
+// are pointers to state embedded in the layer, so converting one to this
+// interface stores the pointer directly — no heap allocation. (The obvious
+// alternative, passing functions into parallelSamples, allocates every call:
+// referencing a generic function as a value from a generic context builds a
+// dictionary-bound closure at runtime, which the steady-state zero-alloc
+// guarantee forbids.)
+type sampleRunner interface {
+	newScratch() any
+	sample(i int, scratch any)
+}
+
+// scratchPool is a per-layer free-list of worker scratch (im2col buffers,
+// packed panels). Scratch used to be allocated fresh by every parallel
+// fan-out; recycling it through the layer keeps steady-state training free of
+// per-batch allocations. The mutex is uncontended in practice: get/put run
+// once per worker per layer call, not per sample.
+type scratchPool struct {
+	mu   sync.Mutex
+	free []any
+}
+
+func (p *scratchPool) get(r sampleRunner) any {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return r.newScratch()
+}
+
+func (p *scratchPool) put(s any) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// parallelSamples runs r.sample(i, scratch) for i in [0, n), fanning out
+// across workers when the per-item work is heavy (convolutions over a batch).
+// Each index is processed by exactly one worker, so any writes partitioned by
+// i are race-free and the result is independent of scheduling.
 //
 // Extra workers are borrowed from the process-wide CPU-token budget
 // (internal/cputok): the calling goroutine is always the first worker, and
@@ -18,20 +59,11 @@ import (
 // cells or client-round workers — the fan-out degrades to the serial path
 // instead of oversubscribing the scheduler.
 //
-// makeScratch, if non-nil, allocates per-worker scratch passed to fn; this
-// lets convolution reuse one im2col buffer per worker instead of per sample.
-func parallelSamples(n int, heavy bool, makeScratch func() interface{}, fn func(i int, scratch interface{})) {
-	serial := func() {
-		var scratch interface{}
-		if makeScratch != nil {
-			scratch = makeScratch()
-		}
-		for i := 0; i < n; i++ {
-			fn(i, scratch)
-		}
-	}
+// When pool is non-nil, scratch is drawn from and returned to it, so a layer
+// allocates scratch only until the pool has seen its peak worker count.
+func parallelSamples(n int, heavy bool, pool *scratchPool, r sampleRunner) {
 	if !heavy || n <= 1 {
-		serial()
+		serialSamples(n, pool, r)
 		return
 	}
 	budget := cputok.Default()
@@ -41,35 +73,55 @@ func parallelSamples(n int, heavy bool, makeScratch func() interface{}, fn func(
 	}
 	borrowed := budget.Borrow(want - 1)
 	if borrowed == 0 {
-		serial()
+		serialSamples(n, pool, r)
 		return
 	}
-	// The work index is claimed with a single atomic increment: this sits on
-	// the per-sample hot path, where a mutex handoff costs more than the
-	// sample's arithmetic for small kernels.
 	var next atomic.Int64
-	work := func() {
-		var scratch interface{}
-		if makeScratch != nil {
-			scratch = makeScratch()
-		}
-		for {
-			i := int(next.Add(1) - 1)
-			if i >= n {
-				return
-			}
-			fn(i, scratch)
-		}
-	}
 	var wg sync.WaitGroup
 	wg.Add(borrowed)
 	for w := 0; w < borrowed; w++ {
 		go func() {
 			defer wg.Done()
-			work()
+			sampleWorker(&next, n, pool, r)
 		}()
 	}
-	work()
+	sampleWorker(&next, n, pool, r)
 	wg.Wait()
 	budget.Return(borrowed)
+}
+
+// serialSamples is the zero-alloc degenerate fan-out: one worker, indices in
+// order, no goroutines and no closures.
+func serialSamples(n int, pool *scratchPool, r sampleRunner) {
+	scratch := getScratchFrom(pool, r)
+	for i := 0; i < n; i++ {
+		r.sample(i, scratch)
+	}
+	if pool != nil {
+		pool.put(scratch)
+	}
+}
+
+// sampleWorker claims work indices with a single atomic increment: this sits
+// on the per-sample hot path, where a mutex handoff costs more than the
+// sample's arithmetic for small kernels.
+func sampleWorker(next *atomic.Int64, n int, pool *scratchPool, r sampleRunner) {
+	scratch := getScratchFrom(pool, r)
+	for {
+		i := int(next.Add(1) - 1)
+		if i >= n {
+			break
+		}
+		r.sample(i, scratch)
+	}
+	if pool != nil {
+		pool.put(scratch)
+	}
+}
+
+func getScratchFrom(pool *scratchPool, r sampleRunner) any {
+	if pool != nil {
+		return pool.get(r)
+	}
+	return r.newScratch()
 }

@@ -6,17 +6,23 @@ import (
 	"fedca/internal/tensor"
 )
 
-// MaxPool2D is a max pooling layer over [B, C·H·W] inputs.
-type MaxPool2D struct {
+// MaxPool2DOf is a max pooling layer over [B, C·H·W] inputs.
+type MaxPool2DOf[F tensor.Float] struct {
 	C, H, W    int
 	K, Stride  int
 	OutH, OutW int
 	argmax     []int32 // per Forward: input offset chosen for each output elem
 	batch      int
+
+	arena *tensor.Arena
+	gen   uint64
 }
 
-// NewMaxPool2D creates a max-pool layer with square kernel K and stride.
-func NewMaxPool2D(c, h, w, k, stride int) *MaxPool2D {
+// MaxPool2D is the float64 max-pool layer.
+type MaxPool2D = MaxPool2DOf[float64]
+
+// NewMaxPool2DOf creates a max-pool layer with square kernel K and stride.
+func NewMaxPool2DOf[F tensor.Float](c, h, w, k, stride int) *MaxPool2DOf[F] {
 	if k <= 0 || stride <= 0 {
 		panic("nn: MaxPool2D kernel and stride must be positive")
 	}
@@ -25,24 +31,36 @@ func NewMaxPool2D(c, h, w, k, stride int) *MaxPool2D {
 	if outH <= 0 || outW <= 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D output %dx%d not positive", outH, outW))
 	}
-	return &MaxPool2D{C: c, H: h, W: w, K: k, Stride: stride, OutH: outH, OutW: outW}
+	return &MaxPool2DOf[F]{C: c, H: h, W: w, K: k, Stride: stride, OutH: outH, OutW: outW}
+}
+
+// NewMaxPool2D creates a float64 max-pool layer.
+func NewMaxPool2D(c, h, w, k, stride int) *MaxPool2D {
+	return NewMaxPool2DOf[float64](c, h, w, k, stride)
 }
 
 // OutDim returns the per-sample output feature count.
-func (p *MaxPool2D) OutDim() int { return p.C * p.OutH * p.OutW }
+func (p *MaxPool2DOf[F]) OutDim() int { return p.C * p.OutH * p.OutW }
 
 // InDim returns the expected per-sample input feature count.
-func (p *MaxPool2D) InDim() int { return p.C * p.H * p.W }
+func (p *MaxPool2DOf[F]) InDim() int { return p.C * p.H * p.W }
+
+func (p *MaxPool2DOf[F]) setArena(a *tensor.Arena) { p.arena = a }
 
 // Forward selects the maximum in each pooling window.
-func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (p *MaxPool2DOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	batch := x.Dim(0)
 	inDim := p.InDim()
 	outDim := p.OutDim()
-	y := tensor.New(batch, outDim)
+	y := allocT[F](p.arena, batch, outDim)
 	if train {
-		p.argmax = make([]int32, batch*outDim)
+		if p.arena != nil {
+			p.argmax = p.arena.Int32(batch * outDim)
+		} else {
+			p.argmax = make([]int32, batch*outDim)
+		}
 		p.batch = batch
+		p.gen = stampGen(p.arena)
 	} else {
 		// An eval-mode forward invalidates any earlier training pass: leaving
 		// stale argmax/batch here would let a later Backward silently route
@@ -85,13 +103,14 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward routes each output gradient to the input element that won the max.
-func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (p *MaxPool2DOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	if p.argmax == nil {
 		panic("nn: MaxPool2D.Backward without prior Forward(train=true)")
 	}
+	checkGen(p.arena, p.gen, "nn.MaxPool2D")
 	outDim := p.OutDim()
 	inDim := p.InDim()
-	dx := tensor.New(p.batch, inDim)
+	dx := allocT[F](p.arena, p.batch, inDim)
 	dd, dxd := dout.Data(), dx.Data()
 	for i := 0; i < p.batch; i++ {
 		for oi := 0; oi < outDim; oi++ {
@@ -103,29 +122,41 @@ func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns nil: pooling has no parameters.
-func (p *MaxPool2D) Params() []*Param { return nil }
+func (p *MaxPool2DOf[F]) Params() []*ParamOf[F] { return nil }
 
-// GlobalAvgPool2D averages each channel over its spatial extent,
+// GlobalAvgPool2DOf averages each channel over its spatial extent,
 // mapping [B, C·H·W] to [B, C]. Used as the WRN head.
-type GlobalAvgPool2D struct {
+type GlobalAvgPool2DOf[F tensor.Float] struct {
 	C, H, W int
 	batch   int
+
+	arena *tensor.Arena
 }
 
-// NewGlobalAvgPool2D creates a global average pooling layer.
+// GlobalAvgPool2D is the float64 global average pooling layer.
+type GlobalAvgPool2D = GlobalAvgPool2DOf[float64]
+
+// NewGlobalAvgPool2DOf creates a global average pooling layer.
+func NewGlobalAvgPool2DOf[F tensor.Float](c, h, w int) *GlobalAvgPool2DOf[F] {
+	return &GlobalAvgPool2DOf[F]{C: c, H: h, W: w}
+}
+
+// NewGlobalAvgPool2D creates a float64 global average pooling layer.
 func NewGlobalAvgPool2D(c, h, w int) *GlobalAvgPool2D {
-	return &GlobalAvgPool2D{C: c, H: h, W: w}
+	return NewGlobalAvgPool2DOf[float64](c, h, w)
 }
 
 // OutDim returns C.
-func (g *GlobalAvgPool2D) OutDim() int { return g.C }
+func (g *GlobalAvgPool2DOf[F]) OutDim() int { return g.C }
+
+func (g *GlobalAvgPool2DOf[F]) setArena(a *tensor.Arena) { g.arena = a }
 
 // Forward averages spatially per channel.
-func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (g *GlobalAvgPool2DOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	batch := x.Dim(0)
 	spatial := g.H * g.W
 	inDim := g.C * spatial
-	y := tensor.New(batch, g.C)
+	y := allocT[F](g.arena, batch, g.C)
 	xd, yd := x.Data(), y.Data()
 	inv := 1.0 / float64(spatial)
 	for i := 0; i < batch; i++ {
@@ -133,9 +164,9 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		for c := 0; c < g.C; c++ {
 			sum := 0.0
 			for _, v := range xs[c*spatial : (c+1)*spatial] {
-				sum += v
+				sum += float64(v)
 			}
-			yd[i*g.C+c] = sum * inv
+			yd[i*g.C+c] = F(sum * inv)
 		}
 	}
 	g.batch = batch
@@ -143,15 +174,15 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward spreads each channel gradient uniformly over its spatial extent.
-func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (g *GlobalAvgPool2DOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	spatial := g.H * g.W
 	inDim := g.C * spatial
-	dx := tensor.New(g.batch, inDim)
+	dx := allocT[F](g.arena, g.batch, inDim)
 	dd, dxd := dout.Data(), dx.Data()
 	inv := 1.0 / float64(spatial)
 	for i := 0; i < g.batch; i++ {
 		for c := 0; c < g.C; c++ {
-			grad := dd[i*g.C+c] * inv
+			grad := F(float64(dd[i*g.C+c]) * inv)
 			row := dxd[i*inDim+c*spatial : i*inDim+(c+1)*spatial]
 			for j := range row {
 				row[j] = grad
@@ -162,4 +193,4 @@ func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns nil: pooling has no parameters.
-func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+func (g *GlobalAvgPool2DOf[F]) Params() []*ParamOf[F] { return nil }

@@ -6,17 +6,22 @@ import (
 	"fedca/internal/tensor"
 )
 
-// Residual computes y = body(x) + shortcut(x), the building block of
+// ResidualOf computes y = body(x) + shortcut(x), the building block of
 // WideResNet-style networks. An empty shortcut means identity (which
 // requires body to preserve the feature count).
-type Residual struct {
-	Body     []Layer
-	Shortcut []Layer // nil/empty = identity
+type ResidualOf[F tensor.Float] struct {
+	Body     []LayerOf[F]
+	Shortcut []LayerOf[F] // nil/empty = identity
 	outDim   int
+
+	arena *tensor.Arena
 }
 
-// NewResidual wires a residual block and validates dimensions.
-func NewResidual(body, shortcut []Layer, inDim int) *Residual {
+// Residual is the float64 residual block.
+type Residual = ResidualOf[float64]
+
+// NewResidualOf wires a residual block and validates dimensions.
+func NewResidualOf[F tensor.Float](body, shortcut []LayerOf[F], inDim int) *ResidualOf[F] {
 	if len(body) == 0 {
 		panic("nn: Residual requires a non-empty body")
 	}
@@ -28,14 +33,23 @@ func NewResidual(body, shortcut []Layer, inDim int) *Residual {
 	if bodyOut != shortOut {
 		panic(fmt.Sprintf("nn: Residual body out %d != shortcut out %d", bodyOut, shortOut))
 	}
-	return &Residual{Body: body, Shortcut: shortcut, outDim: bodyOut}
+	return &ResidualOf[F]{Body: body, Shortcut: shortcut, outDim: bodyOut}
+}
+
+// NewResidual wires a float64 residual block.
+func NewResidual(body, shortcut []Layer, inDim int) *Residual {
+	return NewResidualOf[float64](body, shortcut, inDim)
 }
 
 // OutDim returns the block's output feature count.
-func (r *Residual) OutDim() int { return r.outDim }
+func (r *ResidualOf[F]) OutDim() int { return r.outDim }
+
+// setArena binds the block's own scratch; nested layers are reached by
+// Network.SetArena through VisitLayers.
+func (r *ResidualOf[F]) setArena(a *tensor.Arena) { r.arena = a }
 
 // Forward runs both branches and sums them.
-func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *ResidualOf[F]) Forward(x *tensor.TensorOf[F], train bool) *tensor.TensorOf[F] {
 	b := x
 	for _, l := range r.Body {
 		b = l.Forward(b, train)
@@ -44,13 +58,13 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range r.Shortcut {
 		s = l.Forward(s, train)
 	}
-	y := b.Clone()
-	y.Add(s)
+	y := allocT[F](r.arena, b.Shape()...)
+	y.AddInto(b, s)
 	return y
 }
 
 // Backward propagates dout through both branches and sums input gradients.
-func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (r *ResidualOf[F]) Backward(dout *tensor.TensorOf[F]) *tensor.TensorOf[F] {
 	db := dout
 	for i := len(r.Body) - 1; i >= 0; i-- {
 		db = r.Body[i].Backward(db)
@@ -59,14 +73,14 @@ func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.Shortcut) - 1; i >= 0; i-- {
 		ds = r.Shortcut[i].Backward(ds)
 	}
-	dx := db.Clone()
-	dx.Add(ds)
+	dx := allocT[F](r.arena, db.Shape()...)
+	dx.AddInto(db, ds)
 	return dx
 }
 
 // Params returns the parameters of both branches.
-func (r *Residual) Params() []*Param {
-	var ps []*Param
+func (r *ResidualOf[F]) Params() []*ParamOf[F] {
+	var ps []*ParamOf[F]
 	for _, l := range r.Body {
 		ps = append(ps, l.Params()...)
 	}

@@ -2,19 +2,29 @@ package nn
 
 import "fedca/internal/tensor"
 
-// SGD is stochastic gradient descent with optional momentum and decoupled-L2
-// weight decay, matching the paper's optimizer setup (plain SGD + weight
-// decay; learning rates 0.01/0.05/0.1 per model).
-type SGD struct {
+// SGDOf is stochastic gradient descent with optional momentum and
+// decoupled-L2 weight decay, matching the paper's optimizer setup (plain SGD
+// + weight decay; learning rates 0.01/0.05/0.1 per model). Hyperparameters
+// and update arithmetic are float64 for both dtypes; a float32 network rounds
+// each updated weight (and momentum entry) to the working precision on store.
+type SGDOf[F tensor.Float] struct {
 	LR          float64
 	Momentum    float64
 	WeightDecay float64
-	velocity    map[*Param]*tensor.Tensor
+	velocity    map[*ParamOf[F]]*tensor.TensorOf[F]
 }
 
-// NewSGD creates an optimizer.
+// SGD is the float64 optimizer.
+type SGD = SGDOf[float64]
+
+// NewSGDOf creates an optimizer for any float dtype.
+func NewSGDOf[F tensor.Float](lr, momentum, weightDecay float64) *SGDOf[F] {
+	return &SGDOf[F]{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*ParamOf[F]]*tensor.TensorOf[F])}
+}
+
+// NewSGD creates a float64 optimizer.
 func NewSGD(lr, momentum, weightDecay float64) *SGD {
-	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*Param]*tensor.Tensor)}
+	return NewSGDOf[float64](lr, momentum, weightDecay)
 }
 
 // Step applies one update to every parameter:
@@ -22,25 +32,25 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 //	g   = grad + wd·w
 //	v   = μ·v + g        (momentum buffer, if μ > 0)
 //	w  -= lr · v
-func (s *SGD) Step(params []*Param) {
+func (s *SGDOf[F]) Step(params []*ParamOf[F]) {
 	for _, p := range params {
 		w := p.Value.Data()
 		g := p.Grad.Data()
 		if s.Momentum > 0 {
 			v, ok := s.velocity[p]
 			if !ok {
-				v = tensor.New(p.Value.Shape()...)
+				v = tensor.NewOf[F](p.Value.Shape()...)
 				s.velocity[p] = v
 			}
 			vd := v.Data()
 			for i := range w {
-				grad := g[i] + s.WeightDecay*w[i]
-				vd[i] = s.Momentum*vd[i] + grad
-				w[i] -= s.LR * vd[i]
+				grad := float64(g[i]) + s.WeightDecay*float64(w[i])
+				vd[i] = F(s.Momentum*float64(vd[i]) + grad)
+				w[i] = F(float64(w[i]) - s.LR*float64(vd[i]))
 			}
 		} else {
 			for i := range w {
-				w[i] -= s.LR * (g[i] + s.WeightDecay*w[i])
+				w[i] = F(float64(w[i]) - s.LR*(float64(g[i])+s.WeightDecay*float64(w[i])))
 			}
 		}
 	}
@@ -48,6 +58,6 @@ func (s *SGD) Step(params []*Param) {
 
 // Reset clears momentum buffers (used when a client adopts fresh global
 // parameters at round start).
-func (s *SGD) Reset() {
-	s.velocity = make(map[*Param]*tensor.Tensor)
+func (s *SGDOf[F]) Reset() {
+	s.velocity = make(map[*ParamOf[F]]*tensor.TensorOf[F])
 }

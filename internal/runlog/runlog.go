@@ -25,6 +25,10 @@ type Header struct {
 	K       int     `json:"k"`
 	Seed    uint64  `json:"seed"`
 	Alpha   float64 `json:"alpha,omitempty"`
+	// Dtype is the client training precision ("" = float64, the default;
+	// "f32" = float32 workers). Different dtypes follow different training
+	// trajectories, so the field is part of the run's reproducibility key.
+	Dtype string `json:"dtype,omitempty"`
 
 	// Chaos is the fault-injection spec (chaos.Config.Spec format); empty
 	// means no injection.

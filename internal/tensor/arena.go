@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Arena is a bump allocator for per-iteration layer scratch: forward and
+// backward activations, gradients of intermediates, masks and argmax indices.
+// Layers draw from it instead of make, the training loop calls Reset once per
+// iteration, and after a warmup iteration has sized the slabs to the model's
+// high-water demand, a steady-state training step performs zero heap
+// allocations. Tensor headers and shape slices are bump-allocated too, so
+// AllocOf itself is allocation-free in steady state.
+//
+// An Arena is NOT safe for concurrent use. The ownership model mirrors the
+// fleet's client slots: each worker network owns one arena, and sample-level
+// parallel loops inside a layer write into disjoint sub-slices of buffers
+// that were allocated by the (serial) layer code.
+//
+// Reset invalidates every outstanding allocation at once by bumping the
+// arena's generation. Consumers that hold scratch across calls (a layer's
+// forward cache read by backward) record the generation at allocation time
+// and call CheckGen before reading, so a stale read panics loudly instead of
+// silently consuming another iteration's data.
+type Arena struct {
+	f64   slab[float64]
+	f32   slab[float32]
+	i32   slab[int32]
+	bools slab[bool]
+	dims  slab[int]
+	t64   slab[TensorOf[float64]]
+	t32   slab[TensorOf[float32]]
+	gen   uint64
+}
+
+// slab is one type's bump region. If demand exceeds the buffer, alloc falls
+// back to make (a warmup allocation) and reset regrows the buffer to the
+// observed high-water demand so the next generation fits entirely.
+type slab[T any] struct {
+	buf    []T
+	off    int
+	demand int
+}
+
+func (s *slab[T]) alloc(n int) []T {
+	s.demand += n
+	if s.off+n > len(s.buf) {
+		return make([]T, n)
+	}
+	v := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	clear(v)
+	return v
+}
+
+func (s *slab[T]) reset() {
+	if s.demand > len(s.buf) {
+		s.buf = make([]T, s.demand)
+	}
+	s.off = 0
+	s.demand = 0
+}
+
+// NewArena returns an empty arena; slabs grow on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset recycles every allocation made since the previous Reset and starts a
+// new generation. Slabs that overflowed are regrown to the observed demand,
+// so allocation falls to zero once a full iteration has run.
+func (a *Arena) Reset() {
+	a.f64.reset()
+	a.f32.reset()
+	a.i32.reset()
+	a.bools.reset()
+	a.dims.reset()
+	a.t64.reset()
+	a.t32.reset()
+	a.gen++
+}
+
+// Gen returns the current generation, incremented by every Reset. Consumers
+// holding arena memory across calls record it and pass it to CheckGen before
+// reading.
+func (a *Arena) Gen() uint64 { return a.gen }
+
+// CheckGen panics if the arena has been Reset since generation gen was
+// recorded: the memory the caller is about to read has been recycled.
+func (a *Arena) CheckGen(gen uint64, owner string) {
+	if a.gen != gen {
+		panic(fmt.Sprintf("tensor: %s reads arena scratch from generation %d after Reset (now %d): stale scratch", owner, gen, a.gen))
+	}
+}
+
+// Float64 allocates a zeroed []float64 valid until the next Reset.
+func (a *Arena) Float64(n int) []float64 { return a.f64.alloc(n) }
+
+// Float32 allocates a zeroed []float32 valid until the next Reset.
+func (a *Arena) Float32(n int) []float32 { return a.f32.alloc(n) }
+
+// Int32 allocates a zeroed []int32 valid until the next Reset.
+func (a *Arena) Int32(n int) []int32 { return a.i32.alloc(n) }
+
+// Bools allocates a zeroed []bool valid until the next Reset (ReLU and
+// dropout masks).
+func (a *Arena) Bools(n int) []bool { return a.bools.alloc(n) }
+
+// ArenaSlice allocates a zeroed []F from the arena's slab for F. The
+// reinterpretation is by element size, not interface conversion: boxing a
+// slice into an any would heap-allocate its header on every call, and named
+// ~float32/~float64 types would fail the assertion back.
+func ArenaSlice[F Float](a *Arena, n int) []F {
+	var s unsafe.Pointer
+	if sizeofF[F]() == 4 {
+		s = unsafe.Pointer(unsafe.SliceData(a.f32.alloc(n)))
+	} else {
+		s = unsafe.Pointer(unsafe.SliceData(a.f64.alloc(n)))
+	}
+	return unsafe.Slice((*F)(s), n)
+}
+
+// AllocOf allocates a zeroed tensor whose storage — data, shape and the
+// header itself — lives in the arena, valid until the next Reset.
+func AllocOf[F Float](a *Arena, shape ...int) *TensorOf[F] {
+	n := checkShape(shape)
+	sh := a.dims.alloc(len(shape))
+	copy(sh, shape)
+	t := allocHeader[F](a)
+	t.data = ArenaSlice[F](a, n)
+	t.shape = sh
+	return t
+}
+
+func allocHeader[F Float](a *Arena) *TensorOf[F] {
+	if sizeofF[F]() == 4 {
+		return (*TensorOf[F])(unsafe.Pointer(&a.t32.alloc(1)[0]))
+	}
+	return (*TensorOf[F])(unsafe.Pointer(&a.t64.alloc(1)[0]))
+}

@@ -1,0 +1,109 @@
+package tensor
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestArenaResetReuse: after a warmup generation has sized the slabs, the
+// same request in the next generation must come out of the same backing
+// buffer (bump allocation, not make).
+func TestArenaResetReuse(t *testing.T) {
+	a := NewArena()
+	a.Float64(128) // warmup: records demand, falls back to make
+	a.Reset()      // regrows the slab to demand
+	s1 := a.Float64(128)
+	a.Reset()
+	s2 := a.Float64(128)
+	if unsafe.SliceData(s1) != unsafe.SliceData(s2) {
+		t.Fatal("same-sized allocation after Reset did not reuse the slab")
+	}
+}
+
+// TestArenaZeroesRecycledMemory: a recycled slab region must come back
+// zeroed, or arena-backed layers would read the previous iteration's values.
+func TestArenaZeroesRecycledMemory(t *testing.T) {
+	a := NewArena()
+	a.Float64(16)
+	a.Reset()
+	s := a.Float64(16)
+	for i := range s {
+		s[i] = 42
+	}
+	a.Reset()
+	for i, v := range a.Float64(16) {
+		if v != 0 {
+			t.Fatalf("recycled slab not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// TestArenaOverflowRegrows: demand beyond the current slab falls back to make
+// (a warmup allocation, still usable), and the following Reset regrows the
+// slab so the same demand fits entirely next generation.
+func TestArenaOverflowRegrows(t *testing.T) {
+	a := NewArena()
+	a.Float32(8)
+	a.Reset() // slab is now 8 elements
+	a.Float32(8)
+	big := a.Float32(1024) // overflow: make fallback
+	big[1023] = 1          // must still be writable
+	a.Reset()              // regrow to 8+1024
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Float32(8)
+		a.Float32(1024)
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("post-regrow generation allocated %v times; want 0", allocs)
+	}
+}
+
+// TestArenaAllocOfSteadyStateZeroAlloc: AllocOf draws data, shape and the
+// tensor header itself from the arena, so a steady-state iteration of mixed
+// allocations performs zero heap allocations.
+func TestArenaAllocOfSteadyStateZeroAlloc(t *testing.T) {
+	a := NewArena()
+	iter := func() {
+		a.Reset()
+		x := AllocOf[float64](a, 4, 8)
+		y := AllocOf[float32](a, 2, 3, 5)
+		_ = a.Int32(16)
+		_ = a.Bools(64)
+		x.Data()[0] = 1
+		y.Data()[0] = 1
+	}
+	iter() // warmup sizes every slab
+	if allocs := testing.AllocsPerRun(20, iter); allocs != 0 {
+		t.Fatalf("steady-state arena iteration allocated %v times; want 0", allocs)
+	}
+}
+
+// TestArenaAllocOfShapes: arena tensors carry correct shapes and are zeroed.
+func TestArenaAllocOfShapes(t *testing.T) {
+	a := NewArena()
+	x := AllocOf[float32](a, 3, 7)
+	if x.Dim(0) != 3 || x.Dim(1) != 7 || len(x.Data()) != 21 {
+		t.Fatalf("bad arena tensor geometry: %v, len %d", x.Shape(), len(x.Data()))
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("arena tensor not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// TestArenaCheckGenPanics: reading scratch from a previous generation must
+// panic loudly, not silently alias recycled memory.
+func TestArenaCheckGenPanics(t *testing.T) {
+	a := NewArena()
+	gen := a.Gen()
+	a.CheckGen(gen, "test") // same generation: fine
+	a.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckGen with a stale generation did not panic")
+		}
+	}()
+	a.CheckGen(gen, "test")
+}

@@ -3,48 +3,87 @@ package tensor
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"fedca/internal/cputok"
 )
 
-// ParallelThreshold is the minimum number of multiply-accumulate operations
-// (m·n·k for a GEMM, batch·pos·patch·outC for a batched convolution) below
-// which a kernel stays single-threaded: spawning goroutines for tiny products
-// costs more than it saves. It is the one threshold shared by every
-// parallelism decision in the math floor (tensor.parallelRows and
-// nn.parallelSamples), so the two layers agree on what "heavy" means.
-const ParallelThreshold = 1 << 17
+// ParallelThresholdBytes is the minimum amount of multiply-accumulate work —
+// measured in bytes of operand traffic, MACs × sizeof(element) — below which
+// a kernel stays single-threaded: spawning goroutines for tiny products costs
+// more than it saves. Making the cutoff byte-based instead of element-based
+// keeps the fan-out point aligned with actual work across dtypes: a float32
+// GEMM moves half the bytes per MAC, so it should need twice the elements of
+// a float64 GEMM before parallelism pays.
+const ParallelThresholdBytes = 1 << 20
 
-// Micro-kernel tile sizes. gemmMR×gemmNR accumulators live in registers
-// across the whole k loop: 8 independent accumulation chains hide the FP add
-// latency, and each loaded A/B value is reused gemmNR/gemmMR times, cutting
-// memory traffic per MAC ~4× versus the naive i-k-j loop.
+// ParallelThreshold is the float64 element-count form of the byte threshold
+// (m·n·k for a GEMM, batch·pos·patch·outC for a batched convolution). It is
+// shared by every float64 parallelism decision in the math floor
+// (tensor.parallelRows and nn.parallelSamples) so the two layers agree on
+// what "heavy" means. Dtype-generic code should use ParallelThresholdFor.
+const ParallelThreshold = ParallelThresholdBytes / 8
+
+// ParallelThresholdFor returns the MAC-count threshold for element type F:
+// ParallelThresholdBytes scaled by the element size (1<<17 for float64,
+// 1<<18 for float32).
+func ParallelThresholdFor[F Float]() int {
+	return ParallelThresholdBytes / sizeofF[F]()
+}
+
+func sizeofF[F Float]() int {
+	var z F
+	return int(unsafe.Sizeof(z))
+}
+
+// Micro-kernel tile geometry, selected per dtype. gemmMR×NR accumulators
+// live in registers across the whole k loop: the independent accumulation
+// chains hide the FP add latency, and each loaded A/B value is reused NR or
+// gemmMR times, cutting memory traffic per MAC versus the naive i-k-j loop.
+//
+//	dtype    micro-kernel  B-panel width  accumulator chains
+//	float64  2×4           4              8
+//	float32  2×8           8              16
+//
+// float32 gets the wider tile because eight float32 lanes fill the same
+// 32-byte vector width that four float64 lanes do: the panel rows stay one
+// cache-line-aligned stream, and the doubled chain count feeds wider SIMD
+// units without changing any element's ascending-k accumulation order.
 const (
-	gemmMR = 2
-	gemmNR = 4
+	gemmMR   = 2
+	gemmNR   = 4 // float64 B-panel width
+	gemmNR32 = 8 // float32 B-panel width
 )
 
+// gemmNROf returns the B-panel width for element type F.
+func gemmNROf[F Float]() int {
+	if sizeofF[F]() == 4 {
+		return gemmNR32
+	}
+	return gemmNR
+}
+
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing into
-// dst (m×n). dst must not alias A or B. B is packed once into gemmNR-wide
-// column panels shared read-only by every row block; rows of C are then
-// computed in parallel across workers borrowed from the process CPU-token
-// budget (internal/cputok). Results are bit-identical at any token count:
-// each output row is written by exactly one worker, and every element
-// accumulates its products in ascending-k order regardless of tiling.
-func MatMul(dst, a, b *Tensor) {
+// dst (m×n). dst must not alias A or B. B is packed once into NR-wide column
+// panels shared read-only by every row block; rows of C are then computed in
+// parallel across workers borrowed from the process CPU-token budget
+// (internal/cputok). Results are bit-identical at any token count: each
+// output row is written by exactly one worker, and every element accumulates
+// its products in ascending-k order regardless of tiling.
+func MatMul[F Float](dst, a, b *TensorOf[F]) {
 	m, k, n := checkMatMul(dst, a, b, false, false)
-	packed := getPack(packLen(k, n))
-	packPanels(packed, b.data, k, n)
-	gemmNNPacked(dst.data, a.data, packed, m, k, n)
+	packed := getPack[F](packLen[F](k, n))
+	packPanels(packed.s, b.data, k, n)
+	gemmNNPacked(dst.data, a.data, packed.s, m, k, n)
 	putPack(packed)
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is (k×m), B is (k×n), dst is (m×n).
-func MatMulTransA(dst, a, b *Tensor) {
+func MatMulTransA[F Float](dst, a, b *TensorOf[F]) {
 	m, k, n := checkMatMul(dst, a, b, true, false)
-	packed := getPack(packLen(k, n))
-	packPanels(packed, b.data, k, n)
-	gemmTNPacked(dst.data, a.data, packed, m, k, n)
+	packed := getPack[F](packLen[F](k, n))
+	packPanels(packed.s, b.data, k, n)
+	gemmTNPacked(dst.data, a.data, packed.s, m, k, n)
 	putPack(packed)
 }
 
@@ -52,26 +91,27 @@ func MatMulTransA(dst, a, b *Tensor) {
 // B's rows are already contiguous k-length panels (for convolution, the
 // im2col patch matrix arrives in exactly this layout), so no packing pass is
 // needed.
-func MatMulTransB(dst, a, b *Tensor) {
+func MatMulTransB[F Float](dst, a, b *TensorOf[F]) {
 	m, k, n := checkMatMul(dst, a, b, false, true)
 	gemmNT(dst.data, a.data, b.data, m, k, n)
 }
 
 // MatMulRef is the unblocked reference kernel: the textbook triple loop with
 // no tiling, no packing and no skips, accumulating each output element in
-// ascending-k order. Tests and the kernel benchmarks compare the blocked
-// kernels against it — for finite inputs the blocked kernels are
-// bit-identical (same products, same accumulation order), and for NaN/Inf
-// inputs they must agree too (no zero-skip may mask 0×Inf = NaN).
-func MatMulRef(dst, a, b *Tensor, transA, transB bool) {
+// ascending-k order in the tensors' own element type. Tests and the kernel
+// benchmarks compare the blocked kernels against it — for finite inputs the
+// blocked kernels are bit-identical (same products, same accumulation order),
+// and for NaN/Inf inputs they must agree too (no zero-skip may mask
+// 0×Inf = NaN).
+func MatMulRef[F Float](dst, a, b *TensorOf[F], transA, transB bool) {
 	m, k, n := checkMatMul(dst, a, b, transA, transB)
-	at := func(i, p int) float64 {
+	at := func(i, p int) F {
 		if transA {
 			return a.data[p*m+i]
 		}
 		return a.data[i*k+p]
 	}
-	bt := func(p, j int) float64 {
+	bt := func(p, j int) F {
 		if transB {
 			return b.data[j*k+p]
 		}
@@ -79,7 +119,7 @@ func MatMulRef(dst, a, b *Tensor, transA, transB bool) {
 	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			s := 0.0
+			var s F
 			for p := 0; p < k; p++ {
 				s += at(i, p) * bt(p, j)
 			}
@@ -88,7 +128,7 @@ func MatMulRef(dst, a, b *Tensor, transA, transB bool) {
 	}
 }
 
-func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
+func checkMatMul[F Float](dst, a, b *TensorOf[F], transA, transB bool) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
 	}
@@ -109,13 +149,90 @@ func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
 	return am, ak, bn
 }
 
-// parallelRows runs fn(lo, hi) over row blocks [0,m), borrowing extra
-// workers from the shared CPU-token budget when work (total MACs) exceeds
-// ParallelThreshold. The calling goroutine is always the first worker, so a
-// fully spent budget degrades to the serial path instead of blocking.
-func parallelRows(m int, work int, fn func(lo, hi int)) {
-	if work < ParallelThreshold || m <= 1 {
-		fn(0, m)
+// gemmArgs carries one GEMM call's operands through the row fan-out. Kernel
+// bodies are top-level functions of (*gemmArgs, lo, hi) and drivers pass them
+// as static function values: a closure capturing the operand slices would
+// heap-allocate on every GEMM call, which the steady-state zero-alloc
+// guarantee forbids. The struct itself is pooled for the same reason — a
+// stack-local leaked to worker goroutines would escape per call.
+type gemmArgs[F Float] struct {
+	c, a, b []F
+	m, k, n int
+}
+
+var (
+	gemmArgsPool64 sync.Pool
+	gemmArgsPool32 sync.Pool
+)
+
+func gemmArgsPoolOf[F Float]() *sync.Pool {
+	if sizeofF[F]() == 4 {
+		return &gemmArgsPool32
+	}
+	return &gemmArgsPool64
+}
+
+func getArgs[F Float](c, a, b []F, m, k, n int) *gemmArgs[F] {
+	g, _ := gemmArgsPoolOf[F]().Get().(*gemmArgs[F])
+	if g == nil {
+		g = &gemmArgs[F]{}
+	}
+	g.c, g.a, g.b, g.m, g.k, g.n = c, a, b, m, k, n
+	return g
+}
+
+func putArgs[F Float](g *gemmArgs[F]) {
+	g.c, g.a, g.b = nil, nil, nil // don't pin caller buffers from the pool
+	gemmArgsPoolOf[F]().Put(g)
+}
+
+// Kernel-body op codes for parallelRows' dispatch. The fan-out selects its
+// body by op instead of taking a function value: referencing a generic
+// function like gemmNNPacked4Body[F] as a value from a generic context builds
+// a dictionary-bound closure at runtime — one heap allocation per GEMM call,
+// which the steady-state zero-alloc guarantee forbids. A direct call through
+// a switch is statically dispatched and allocation-free.
+const (
+	gemmOpNN4 = iota // C = A·B, 4-wide packed panels (float64 path)
+	gemmOpTN4        // C = Aᵀ·B, 4-wide packed panels
+	gemmOpNT4        // C = A·Bᵀ, B rows as panels
+	gemmOpNN8f32     // C = A·B, 8-wide packed panels (float32 SIMD path)
+	gemmOpTN8f32     // C = Aᵀ·B, 8-wide packed panels
+)
+
+// gemmBody runs the op's kernel body over rows [lo, hi). The f32 ops are only
+// ever dispatched by the concrete float32 drivers, so the operand
+// reinterpretation there is between identical layouts.
+func gemmBody[F Float](op int, g *gemmArgs[F], lo, hi int) {
+	switch op {
+	case gemmOpNN4:
+		gemmNNPacked4Body(g, lo, hi)
+	case gemmOpTN4:
+		gemmTNPacked4Body(g, lo, hi)
+	case gemmOpNT4:
+		gemmNT4Body(g, lo, hi)
+	case gemmOpNN8f32:
+		gemmNNPacked8f32Body(argsAsF32(g), lo, hi)
+	case gemmOpTN8f32:
+		gemmTNPacked8f32Body(argsAsF32(g), lo, hi)
+	}
+}
+
+// argsAsF32 reinterprets a *gemmArgs[F] known to carry 4-byte elements as
+// *gemmArgs[float32]; the struct layout is identical for every 4-byte F.
+func argsAsF32[F Float](g *gemmArgs[F]) *gemmArgs[float32] {
+	return (*gemmArgs[float32])(unsafe.Pointer(g))
+}
+
+// parallelRows runs op's kernel body over row blocks [0, g.m), borrowing
+// extra workers from the shared CPU-token budget when the call's total MACs
+// exceed the per-dtype parallel threshold. The calling goroutine is always
+// the first worker, so a fully spent budget degrades to the serial path
+// instead of blocking.
+func parallelRows[F Float](g *gemmArgs[F], op int) {
+	m := g.m
+	if g.m*g.n*g.k < ParallelThresholdFor[F]() || m <= 1 {
+		gemmBody(op, g, 0, m)
 		return
 	}
 	budget := cputok.Default()
@@ -125,7 +242,7 @@ func parallelRows(m int, work int, fn func(lo, hi int)) {
 	}
 	borrowed := budget.Borrow(want - 1)
 	if borrowed == 0 {
-		fn(0, m)
+		gemmBody(op, g, 0, m)
 		return
 	}
 	workers := borrowed + 1
@@ -139,18 +256,18 @@ func parallelRows(m int, work int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
+			gemmBody(op, g, lo, hi)
 		}(lo, hi)
 	}
-	fn(0, min(chunk, m))
+	gemmBody(op, g, 0, min(chunk, m))
 	wg.Wait()
 	budget.Return(borrowed)
 }
 
 // ---- packed-panel layout ----------------------------------------------------
 //
-// B (k×n, row-major) is repacked into ⌈n/gemmNR⌉ panels. Panel pj holds
-// columns [pj·NR, pj·NR+NR) as k consecutive NR-wide rows:
+// B (k×n, row-major) is repacked into ⌈n/NR⌉ panels, NR = gemmNROf[F]. Panel
+// pj holds columns [pj·NR, pj·NR+NR) as k consecutive NR-wide rows:
 //
 //	packed[pj·k·NR + p·NR + jj] = B[p][pj·NR + jj]
 //
@@ -160,9 +277,20 @@ func parallelRows(m int, work int, fn func(lo, hi int)) {
 // stores them. The pack runs once per GEMM and is shared read-only by every
 // row block and worker.
 
-func packLen(k, n int) int { return k * ((n + gemmNR - 1) / gemmNR) * gemmNR }
+func packLen[F Float](k, n int) int {
+	nr := gemmNROf[F]()
+	return k * ((n + nr - 1) / nr) * nr
+}
 
-func packPanels(dst, b []float64, k, n int) {
+func packPanels[F Float](dst, b []F, k, n int) {
+	if gemmNROf[F]() == gemmNR32 {
+		packPanels8(dst, b, k, n)
+		return
+	}
+	packPanels4(dst, b, k, n)
+}
+
+func packPanels4[F Float](dst, b []F, k, n int) {
 	np := (n + gemmNR - 1) / gemmNR
 	for pj := 0; pj < np; pj++ {
 		j0 := pj * gemmNR
@@ -194,32 +322,103 @@ func packPanels(dst, b []float64, k, n int) {
 	}
 }
 
-// packScratch pools pack buffers so steady-state GEMMs allocate nothing.
-var packScratch sync.Pool
-
-func getPack(n int) []float64 {
-	if v := packScratch.Get(); v != nil {
-		if s := v.([]float64); cap(s) >= n {
-			return s[:n]
+func packPanels8[F Float](dst, b []F, k, n int) {
+	np := (n + gemmNR32 - 1) / gemmNR32
+	for pj := 0; pj < np; pj++ {
+		j0 := pj * gemmNR32
+		w := n - j0
+		if w > gemmNR32 {
+			w = gemmNR32
+		}
+		out := dst[pj*k*gemmNR32 : (pj+1)*k*gemmNR32]
+		if w == gemmNR32 {
+			for p := 0; p < k; p++ {
+				row := b[p*n+j0 : p*n+j0+gemmNR32 : p*n+j0+gemmNR32]
+				o := p * gemmNR32
+				out[o] = row[0]
+				out[o+1] = row[1]
+				out[o+2] = row[2]
+				out[o+3] = row[3]
+				out[o+4] = row[4]
+				out[o+5] = row[5]
+				out[o+6] = row[6]
+				out[o+7] = row[7]
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			o := p * gemmNR32
+			for jj := 0; jj < w; jj++ {
+				out[o+jj] = b[p*n+j0+jj]
+			}
+			for jj := w; jj < gemmNR32; jj++ {
+				out[o+jj] = 0
+			}
 		}
 	}
-	return make([]float64, n)
 }
 
-func putPack(s []float64) { packScratch.Put(s) } //nolint:staticcheck // slice header allocation is amortized
+// packScratch pools pack buffers (one pool per dtype) so steady-state GEMMs
+// allocate nothing. Entries are pointer-shaped (*packBuf) because putting a
+// bare slice into a sync.Pool boxes its header on every Put — one hidden heap
+// allocation per GEMM, which the steady-state zero-alloc guarantee forbids.
+var (
+	packScratch64 sync.Pool
+	packScratch32 sync.Pool
+)
+
+// packBuf is one pooled pack buffer.
+type packBuf[F Float] struct{ s []F }
+
+func packPoolOf[F Float]() *sync.Pool {
+	if sizeofF[F]() == 4 {
+		return &packScratch32
+	}
+	return &packScratch64
+}
+
+func getPack[F Float](n int) *packBuf[F] {
+	p := packPoolOf[F]()
+	if v := p.Get(); v != nil {
+		if b := v.(*packBuf[F]); cap(b.s) >= n {
+			b.s = b.s[:n]
+			return b
+		}
+	}
+	return &packBuf[F]{s: make([]F, n)}
+}
+
+func putPack[F Float](b *packBuf[F]) {
+	packPoolOf[F]().Put(b)
+}
 
 // ---- NN: C[m×n] = A[m×k] · B[k×n] -------------------------------------------
 
-func gemmNNPacked(c, a, packed []float64, m, k, n int) {
-	parallelRows(m, m*n*k, func(lo, hi int) {
+func gemmNNPacked[F Float](c, a, packed []F, m, k, n int) {
+	if gemmNROf[F]() == gemmNR32 {
+		gemmNNPacked8f32(asF32(c), asF32(a), asF32(packed), m, k, n)
+		return
+	}
+	gemmNNPacked4(c, a, packed, m, k, n)
+}
+
+func gemmNNPacked4[F Float](c, a, packed []F, m, k, n int) {
+	g := getArgs[F](c, a, packed, m, k, n)
+	parallelRows(g, gemmOpNN4)
+	putArgs(g)
+}
+
+func gemmNNPacked4Body[F Float](g *gemmArgs[F], lo, hi int) {
+	c, a, packed, k, n := g.c, g.a, g.b, g.k, g.n
+	{
 		i := lo
 		for ; i+gemmMR <= hi; i += gemmMR {
 			a0 := a[i*k : (i+1)*k]
 			a1 := a[(i+1)*k : (i+2)*k]
 			for pj := 0; pj*gemmNR < n; pj++ {
 				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
-				var acc00, acc01, acc02, acc03 float64
-				var acc10, acc11, acc12, acc13 float64
+				var acc00, acc01, acc02, acc03 F
+				var acc10, acc11, acc12, acc13 F
 				for p := 0; p < k; p++ {
 					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
 					av0, av1 := a0[p], a1[p]
@@ -233,15 +432,15 @@ func gemmNNPacked(c, a, packed []float64, m, k, n int) {
 					acc12 += av1 * b2
 					acc13 += av1 * b3
 				}
-				storeTile(c, n, i, pj*gemmNR, acc00, acc01, acc02, acc03)
-				storeTile(c, n, i+1, pj*gemmNR, acc10, acc11, acc12, acc13)
+				storeTile4(c, n, i, pj*gemmNR, acc00, acc01, acc02, acc03)
+				storeTile4(c, n, i+1, pj*gemmNR, acc10, acc11, acc12, acc13)
 			}
 		}
 		for ; i < hi; i++ {
 			ai := a[i*k : (i+1)*k]
 			for pj := 0; pj*gemmNR < n; pj++ {
 				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
-				var acc0, acc1, acc2, acc3 float64
+				var acc0, acc1, acc2, acc3 F
 				for p := 0; p < k; p++ {
 					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
 					av := ai[p]
@@ -250,15 +449,15 @@ func gemmNNPacked(c, a, packed []float64, m, k, n int) {
 					acc2 += av * bp[2]
 					acc3 += av * bp[3]
 				}
-				storeTile(c, n, i, pj*gemmNR, acc0, acc1, acc2, acc3)
+				storeTile4(c, n, i, pj*gemmNR, acc0, acc1, acc2, acc3)
 			}
 		}
-	})
+	}
 }
 
-// storeTile writes one row of a gemmNR-wide accumulator tile into C, dropping
+// storeTile4 writes one row of a 4-wide accumulator tile into C, dropping
 // the zero-padded columns past n's edge.
-func storeTile(c []float64, n, i, j0 int, v0, v1, v2, v3 float64) {
+func storeTile4[F Float](c []F, n, i, j0 int, v0, v1, v2, v3 F) {
 	ci := c[i*n : (i+1)*n]
 	switch n - j0 {
 	case 1:
@@ -274,14 +473,29 @@ func storeTile(c []float64, n, i, j0 int, v0, v1, v2, v3 float64) {
 
 // ---- TN: C[m×n] = Aᵀ · B with A stored as [k×m], B as [k×n] -----------------
 
-func gemmTNPacked(c, a, packed []float64, m, k, n int) {
-	parallelRows(m, m*n*k, func(lo, hi int) {
+func gemmTNPacked[F Float](c, a, packed []F, m, k, n int) {
+	if gemmNROf[F]() == gemmNR32 {
+		gemmTNPacked8f32(asF32(c), asF32(a), asF32(packed), m, k, n)
+		return
+	}
+	gemmTNPacked4(c, a, packed, m, k, n)
+}
+
+func gemmTNPacked4[F Float](c, a, packed []F, m, k, n int) {
+	g := getArgs[F](c, a, packed, m, k, n)
+	parallelRows(g, gemmOpTN4)
+	putArgs(g)
+}
+
+func gemmTNPacked4Body[F Float](g *gemmArgs[F], lo, hi int) {
+	c, a, packed, m, k, n := g.c, g.a, g.b, g.m, g.k, g.n
+	{
 		i := lo
 		for ; i+gemmMR <= hi; i += gemmMR {
 			for pj := 0; pj*gemmNR < n; pj++ {
 				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
-				var acc00, acc01, acc02, acc03 float64
-				var acc10, acc11, acc12, acc13 float64
+				var acc00, acc01, acc02, acc03 F
+				var acc10, acc11, acc12, acc13 F
 				for p := 0; p < k; p++ {
 					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
 					av0, av1 := a[p*m+i], a[p*m+i+1]
@@ -295,14 +509,14 @@ func gemmTNPacked(c, a, packed []float64, m, k, n int) {
 					acc12 += av1 * b2
 					acc13 += av1 * b3
 				}
-				storeTile(c, n, i, pj*gemmNR, acc00, acc01, acc02, acc03)
-				storeTile(c, n, i+1, pj*gemmNR, acc10, acc11, acc12, acc13)
+				storeTile4(c, n, i, pj*gemmNR, acc00, acc01, acc02, acc03)
+				storeTile4(c, n, i+1, pj*gemmNR, acc10, acc11, acc12, acc13)
 			}
 		}
 		for ; i < hi; i++ {
 			for pj := 0; pj*gemmNR < n; pj++ {
 				panel := packed[pj*k*gemmNR : (pj+1)*k*gemmNR]
-				var acc0, acc1, acc2, acc3 float64
+				var acc0, acc1, acc2, acc3 F
 				for p := 0; p < k; p++ {
 					bp := panel[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
 					av := a[p*m+i]
@@ -311,10 +525,10 @@ func gemmTNPacked(c, a, packed []float64, m, k, n int) {
 					acc2 += av * bp[2]
 					acc3 += av * bp[3]
 				}
-				storeTile(c, n, i, pj*gemmNR, acc0, acc1, acc2, acc3)
+				storeTile4(c, n, i, pj*gemmNR, acc0, acc1, acc2, acc3)
 			}
 		}
-	})
+	}
 }
 
 // ---- NT: C[m×n] = A · Bᵀ with A stored as [m×k], B as [n×k] -----------------
@@ -322,10 +536,28 @@ func gemmTNPacked(c, a, packed []float64, m, k, n int) {
 // Both operands' rows are contiguous k-vectors, so B needs no packing — each
 // row of B is already a panel. This is the convolution-forward kernel: the
 // im2col patch matrix is operand B, produced once per sample in exactly this
-// layout.
+// layout. The float32 variant instead transpose-packs B into 8-wide panels
+// and reuses the SIMD panel kernel: row-major panels are what lets the vector
+// unit compute eight output columns per instruction, and the pack cost (k·n
+// copies) amortizes over the m·n·k MACs.
 
-func gemmNT(c, a, b []float64, m, k, n int) {
-	parallelRows(m, m*n*k, func(lo, hi int) {
+func gemmNT[F Float](c, a, b []F, m, k, n int) {
+	if gemmNROf[F]() == gemmNR32 {
+		gemmNT8f32(asF32(c), asF32(a), asF32(b), m, k, n)
+		return
+	}
+	gemmNT4(c, a, b, m, k, n)
+}
+
+func gemmNT4[F Float](c, a, b []F, m, k, n int) {
+	g := getArgs[F](c, a, b, m, k, n)
+	parallelRows(g, gemmOpNT4)
+	putArgs(g)
+}
+
+func gemmNT4Body[F Float](g *gemmArgs[F], lo, hi int) {
+	c, a, b, k, n := g.c, g.a, g.b, g.k, g.n
+	{
 		i := lo
 		for ; i+gemmMR <= hi; i += gemmMR {
 			a0 := a[i*k : (i+1)*k]
@@ -338,8 +570,8 @@ func gemmNT(c, a, b []float64, m, k, n int) {
 				b1 := b[(j+1)*k : (j+2)*k]
 				b2 := b[(j+2)*k : (j+3)*k]
 				b3 := b[(j+3)*k : (j+4)*k]
-				var acc00, acc01, acc02, acc03 float64
-				var acc10, acc11, acc12, acc13 float64
+				var acc00, acc01, acc02, acc03 F
+				var acc10, acc11, acc12, acc13 F
 				for p := 0; p < k; p++ {
 					av0, av1 := a0[p], a1[p]
 					bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
@@ -357,7 +589,7 @@ func gemmNT(c, a, b []float64, m, k, n int) {
 			}
 			for ; j < n; j++ {
 				bj := b[j*k : (j+1)*k]
-				var s0, s1 float64
+				var s0, s1 F
 				for p := 0; p < k; p++ {
 					s0 += a0[p] * bj[p]
 					s1 += a1[p] * bj[p]
@@ -374,7 +606,7 @@ func gemmNT(c, a, b []float64, m, k, n int) {
 				b1 := b[(j+1)*k : (j+2)*k]
 				b2 := b[(j+2)*k : (j+3)*k]
 				b3 := b[(j+3)*k : (j+4)*k]
-				var acc0, acc1, acc2, acc3 float64
+				var acc0, acc1, acc2, acc3 F
 				for p := 0; p < k; p++ {
 					av := ai[p]
 					acc0 += av * b0[p]
@@ -386,35 +618,41 @@ func gemmNT(c, a, b []float64, m, k, n int) {
 			}
 			for ; j < n; j++ {
 				bj := b[j*k : (j+1)*k]
-				s := 0.0
+				var s F
 				for p := 0; p < k; p++ {
 					s += ai[p] * bj[p]
 				}
 				ci[j] = s
 			}
 		}
-	})
+	}
 }
 
 // ---- pre-packed B operand ---------------------------------------------------
 
-// PackedB is operand B of a C = A·B GEMM pre-packed into the panel layout the
-// blocked kernel consumes. Packing is the only per-call preparation MatMul
-// does on B, so a caller multiplying several A's against one B — or producing
-// B directly in packed form, as Conv2D's fused im2col does — packs once and
-// reuses it across calls and row blocks.
-type PackedB struct {
-	data []float64
+// PackedBOf is operand B of a C = A·B GEMM pre-packed into the panel layout
+// the blocked kernel consumes. Packing is the only per-call preparation
+// MatMul does on B, so a caller multiplying several A's against one B — or
+// producing B directly in packed form, as Conv2D's fused im2col does — packs
+// once and reuses it across calls and row blocks.
+type PackedBOf[F Float] struct {
+	data []F
 	k, n int
 }
 
-// NewPackedB allocates a packed operand for a k×n B.
-func NewPackedB(k, n int) *PackedB {
-	return &PackedB{data: make([]float64, packLen(k, n)), k: k, n: n}
+// PackedB is the float64 packed operand.
+type PackedB = PackedBOf[float64]
+
+// NewPackedB allocates a float64 packed operand for a k×n B.
+func NewPackedB(k, n int) *PackedB { return NewPackedBOf[float64](k, n) }
+
+// NewPackedBOf allocates a packed operand for a k×n B of element type F.
+func NewPackedBOf[F Float](k, n int) *PackedBOf[F] {
+	return &PackedBOf[F]{data: make([]F, packLen[F](k, n)), k: k, n: n}
 }
 
 // Pack fills pb from a k×n tensor.
-func (pb *PackedB) Pack(b *Tensor) {
+func (pb *PackedBOf[F]) Pack(b *TensorOf[F]) {
 	if b.Rank() != 2 || b.shape[0] != pb.k || b.shape[1] != pb.n {
 		panic(fmt.Sprintf("tensor: PackedB.Pack shape %v, want [%d %d]", b.shape, pb.k, pb.n))
 	}
@@ -423,7 +661,7 @@ func (pb *PackedB) Pack(b *Tensor) {
 
 // MatMulPacked computes C = A·B with B already packed: identical results to
 // MatMul (same kernel, same accumulation order), minus the packing pass.
-func MatMulPacked(dst, a *Tensor, pb *PackedB) {
+func MatMulPacked[F Float](dst, a *TensorOf[F], pb *PackedBOf[F]) {
 	if a.Rank() != 2 || dst.Rank() != 2 {
 		panic("tensor: MatMulPacked requires 2-D tensors")
 	}

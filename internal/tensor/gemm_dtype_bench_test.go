@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"fedca/internal/rng"
+)
+
+func randTensorOf[F Float](r *rng.RNG, dims ...int) *TensorOf[F] {
+	t := NewOf[F](dims...)
+	d := t.Data()
+	for i := range d {
+		d[i] = F(r.Normal(0, 1))
+	}
+	return t
+}
+
+type dtypeBenchShape struct {
+	name    string
+	m, k, n int
+	variant string // "nn", "tn", "nt"
+}
+
+var dtypeBenchShapes = []dtypeBenchShape{
+	{"conv1_fwd_6x75x256", 6, 75, 256, "nt"},
+	{"conv2_fwd_16x150x64", 16, 150, 64, "nt"},
+	{"fc1_fwd_16x256x120", 16, 256, 120, "nt"},
+	{"lstm_gates_16x24x96", 16, 24, 96, "nt"},
+	{"fc1_dx_16x120x256", 16, 120, 256, "nn"},
+	{"conv2_dW_16x64x150", 16, 64, 150, "nn"},
+	{"conv2_dcol_64x16x150", 64, 16, 150, "tn"},
+	{"fc1_dW_120x16x256", 120, 16, 256, "tn"},
+}
+
+func benchBlockedOf[F Float](b *testing.B, s dtypeBenchShape) {
+	r := rng.New(7)
+	var a, bb *TensorOf[F]
+	switch s.variant {
+	case "tn":
+		a = randTensorOf[F](r, s.k, s.m)
+		bb = randTensorOf[F](r, s.k, s.n)
+	case "nt":
+		a = randTensorOf[F](r, s.m, s.k)
+		bb = randTensorOf[F](r, s.n, s.k)
+	default:
+		a = randTensorOf[F](r, s.m, s.k)
+		bb = randTensorOf[F](r, s.k, s.n)
+	}
+	dst := NewOf[F](s.m, s.n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch s.variant {
+		case "tn":
+			MatMulTransA(dst, a, bb)
+		case "nt":
+			MatMulTransB(dst, a, bb)
+		default:
+			MatMul(dst, a, bb)
+		}
+	}
+}
+
+func BenchmarkGEMMDtype(b *testing.B) {
+	for _, s := range dtypeBenchShapes {
+		b.Run(fmt.Sprintf("%s/f64", s.name), func(b *testing.B) { benchBlockedOf[float64](b, s) })
+		b.Run(fmt.Sprintf("%s/f32", s.name), func(b *testing.B) { benchBlockedOf[float32](b, s) })
+	}
+}

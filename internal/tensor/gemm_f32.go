@@ -1,0 +1,130 @@
+package tensor
+
+import "unsafe"
+
+// float32 kernel drivers. The generic dispatchers in gemm.go route every
+// 8-wide-panel (i.e. float32) GEMM here; the hot k-loop lives in
+// f32DotPanel2x8 / f32DotPanel1x8, implemented in SSE2 assembly on amd64
+// (gemm_f32_amd64.s) and in portable Go elsewhere (gemm_f32_noasm.go). Both
+// implementations accumulate each output column's products in ascending-k
+// order with separate multiply and add roundings (no FMA), so the blocked
+// float32 path is bit-identical to MatMulRef[float32] on every platform.
+
+// asF32 reinterprets a []F known to have 4-byte elements as []float32. It
+// exists so named ~float32 types still reach the assembly kernels.
+func asF32[F Float](s []F) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(unsafe.SliceData(s))), len(s))
+}
+
+// gemmNNPacked8f32 computes C = A·B with B in 8-wide packed panels.
+func gemmNNPacked8f32(c, a, packed []float32, m, k, n int) {
+	g := getArgs[float32](c, a, packed, m, k, n)
+	parallelRows(g, gemmOpNN8f32)
+	putArgs(g)
+}
+
+func gemmNNPacked8f32Body(g *gemmArgs[float32], lo, hi int) {
+	c, a, packed, k, n := g.c, g.a, g.b, g.k, g.n
+	var acc2 [2 * gemmNR32]float32
+	var acc1 [gemmNR32]float32
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		a0, a1 := &a[i*k], &a[(i+1)*k]
+		for pj := 0; pj*gemmNR32 < n; pj++ {
+			f32DotPanel2x8(a0, a1, 1, &packed[pj*k*gemmNR32], k, &acc2)
+			storeAcc8(c, n, i, pj*gemmNR32, acc2[:gemmNR32])
+			storeAcc8(c, n, i+1, pj*gemmNR32, acc2[gemmNR32:])
+		}
+	}
+	for ; i < hi; i++ {
+		a0 := &a[i*k]
+		for pj := 0; pj*gemmNR32 < n; pj++ {
+			f32DotPanel1x8(a0, 1, &packed[pj*k*gemmNR32], k, &acc1)
+			storeAcc8(c, n, i, pj*gemmNR32, acc1[:])
+		}
+	}
+}
+
+// gemmTNPacked8f32 computes C = Aᵀ·B with A stored k×m: the micro-kernel
+// walks A's column i with stride m.
+func gemmTNPacked8f32(c, a, packed []float32, m, k, n int) {
+	g := getArgs[float32](c, a, packed, m, k, n)
+	parallelRows(g, gemmOpTN8f32)
+	putArgs(g)
+}
+
+func gemmTNPacked8f32Body(g *gemmArgs[float32], lo, hi int) {
+	c, a, packed, m, k, n := g.c, g.a, g.b, g.m, g.k, g.n
+	var acc2 [2 * gemmNR32]float32
+	var acc1 [gemmNR32]float32
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		a0, a1 := &a[i], &a[i+1]
+		for pj := 0; pj*gemmNR32 < n; pj++ {
+			f32DotPanel2x8(a0, a1, m, &packed[pj*k*gemmNR32], k, &acc2)
+			storeAcc8(c, n, i, pj*gemmNR32, acc2[:gemmNR32])
+			storeAcc8(c, n, i+1, pj*gemmNR32, acc2[gemmNR32:])
+		}
+	}
+	for ; i < hi; i++ {
+		a0 := &a[i]
+		for pj := 0; pj*gemmNR32 < n; pj++ {
+			f32DotPanel1x8(a0, m, &packed[pj*k*gemmNR32], k, &acc1)
+			storeAcc8(c, n, i, pj*gemmNR32, acc1[:])
+		}
+	}
+}
+
+// gemmNT8f32 computes C = A·Bᵀ with B stored n×k by transpose-packing B into
+// 8-wide panels and reusing the panel kernel. The float64 NT path skips
+// packing because its scalar kernel reads B's rows directly; the SIMD kernel
+// needs row-major panels to compute eight output columns per instruction, and
+// the k·n pack amortizes over m·n·k MACs.
+func gemmNT8f32(c, a, b []float32, m, k, n int) {
+	packed := getPack[float32](packLen[float32](k, n))
+	packPanelsT8(packed.s, b, k, n)
+	gemmNNPacked8f32(c, a, packed.s, m, k, n)
+	putPack(packed)
+}
+
+// packPanelsT8 packs Bᵀ (B stored n×k, row-major) into 8-wide panels:
+// dst[pj·k·8 + p·8 + jj] = B[pj·8+jj][p]. Panels past n's edge zero-fill.
+func packPanelsT8(dst, b []float32, k, n int) {
+	np := (n + gemmNR32 - 1) / gemmNR32
+	for pj := 0; pj < np; pj++ {
+		j0 := pj * gemmNR32
+		w := n - j0
+		if w > gemmNR32 {
+			w = gemmNR32
+		}
+		out := dst[pj*k*gemmNR32 : (pj+1)*k*gemmNR32]
+		for jj := 0; jj < w; jj++ {
+			col := b[(j0+jj)*k : (j0+jj+1)*k]
+			for p := 0; p < k; p++ {
+				out[p*gemmNR32+jj] = col[p]
+			}
+		}
+		if w < gemmNR32 {
+			for p := 0; p < k; p++ {
+				o := p * gemmNR32
+				for jj := w; jj < gemmNR32; jj++ {
+					out[o+jj] = 0
+				}
+			}
+		}
+	}
+}
+
+// storeAcc8 writes one row of an 8-wide accumulator tile into C, dropping
+// the zero-padded columns past n's edge.
+func storeAcc8(c []float32, n, i, j0 int, acc []float32) {
+	ci := c[i*n : (i+1)*n]
+	w := n - j0
+	if w >= gemmNR32 {
+		d := ci[j0 : j0+gemmNR32 : j0+gemmNR32]
+		d[0], d[1], d[2], d[3] = acc[0], acc[1], acc[2], acc[3]
+		d[4], d[5], d[6], d[7] = acc[4], acc[5], acc[6], acc[7]
+		return
+	}
+	copy(ci[j0:n], acc[:w])
+}

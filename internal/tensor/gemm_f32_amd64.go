@@ -1,0 +1,21 @@
+//go:build amd64
+
+package tensor
+
+// The float32 micro-kernels are SSE2 assembly (the amd64 baseline, so no
+// feature detection is needed). Each call computes the full-k dot product of
+// one or two rows of A against one 8-wide packed B panel, writing the 8 (or
+// 16) accumulators to *acc. Per output lane the products are added in
+// ascending-k order with separate MULPS/ADDPS roundings — no FMA — so the
+// results are bit-identical to the scalar reference kernel.
+
+// f32DotPanel2x8 sets acc[0:8] = Σ_p a0[p·astride]·panel[p·8+jj] and
+// acc[8:16] = Σ_p a1[p·astride]·panel[p·8+jj] for jj in [0,8).
+//
+//go:noescape
+func f32DotPanel2x8(a0, a1 *float32, astride int, panel *float32, k int, acc *[16]float32)
+
+// f32DotPanel1x8 is the single-row form of f32DotPanel2x8.
+//
+//go:noescape
+func f32DotPanel1x8(a0 *float32, astride int, panel *float32, k int, acc *[8]float32)

@@ -1,0 +1,84 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func f32DotPanel2x8(a0, a1 *float32, astride int, panel *float32, k int, acc *[16]float32)
+//
+// X0,X1 accumulate row 0 (lanes 0-3, 4-7); X2,X3 accumulate row 1. Each k
+// step broadcasts one element of each A row, multiplies it against the 8-wide
+// panel row and adds lane-wise — every output lane is an independent
+// ascending-k chain, so the result matches the scalar reference bit for bit.
+// SSE2 only (amd64 baseline); MOVUPS because pool buffers are not guaranteed
+// 16-byte aligned.
+TEXT ·f32DotPanel2x8(SB), NOSPLIT, $0-48
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ astride+16(FP), DX
+	SHLQ $2, DX                 // element stride -> byte stride
+	MOVQ panel+24(FP), BX
+	MOVQ k+32(FP), CX
+	MOVQ acc+40(FP), AX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	TESTQ CX, CX
+	JE   store2
+loop2:
+	MOVUPS (BX), X4             // panel[p][0:4]
+	MOVUPS 16(BX), X5           // panel[p][4:8]
+	MOVSS  (SI), X6
+	SHUFPS $0x00, X6, X6        // broadcast a0[p]
+	MOVSS  (DI), X7
+	SHUFPS $0x00, X7, X7        // broadcast a1[p]
+	MOVAPS X4, X8
+	MULPS  X6, X8
+	ADDPS  X8, X0
+	MOVAPS X5, X9
+	MULPS  X6, X9
+	ADDPS  X9, X1
+	MULPS  X7, X4
+	ADDPS  X4, X2
+	MULPS  X7, X5
+	ADDPS  X5, X3
+	ADDQ   DX, SI
+	ADDQ   DX, DI
+	ADDQ   $32, BX
+	DECQ   CX
+	JNE    loop2
+store2:
+	MOVUPS X0, (AX)
+	MOVUPS X1, 16(AX)
+	MOVUPS X2, 32(AX)
+	MOVUPS X3, 48(AX)
+	RET
+
+// func f32DotPanel1x8(a0 *float32, astride int, panel *float32, k int, acc *[8]float32)
+TEXT ·f32DotPanel1x8(SB), NOSPLIT, $0-40
+	MOVQ a0+0(FP), SI
+	MOVQ astride+8(FP), DX
+	SHLQ $2, DX
+	MOVQ panel+16(FP), BX
+	MOVQ k+24(FP), CX
+	MOVQ acc+32(FP), AX
+	XORPS X0, X0
+	XORPS X1, X1
+	TESTQ CX, CX
+	JE   store1
+loop1:
+	MOVUPS (BX), X4
+	MOVUPS 16(BX), X5
+	MOVSS  (SI), X6
+	SHUFPS $0x00, X6, X6
+	MULPS  X6, X4
+	ADDPS  X4, X0
+	MULPS  X6, X5
+	ADDPS  X5, X1
+	ADDQ   DX, SI
+	ADDQ   $32, BX
+	DECQ   CX
+	JNE    loop1
+store1:
+	MOVUPS X0, (AX)
+	MOVUPS X1, 16(AX)
+	RET

@@ -1,0 +1,43 @@
+//go:build !amd64
+
+package tensor
+
+import "unsafe"
+
+// Portable forms of the float32 micro-kernels: same lane semantics, same
+// ascending-k accumulation order, separate multiply and add roundings — so
+// non-amd64 builds produce bit-identical results to the assembly path.
+
+func f32DotPanel2x8(a0, a1 *float32, astride int, panel *float32, k int, acc *[16]float32) {
+	clear(acc[:])
+	if k == 0 {
+		return
+	}
+	as0 := unsafe.Slice(a0, (k-1)*astride+1)
+	as1 := unsafe.Slice(a1, (k-1)*astride+1)
+	ps := unsafe.Slice(panel, k*gemmNR32)
+	for p := 0; p < k; p++ {
+		bp := ps[p*gemmNR32 : p*gemmNR32+gemmNR32 : p*gemmNR32+gemmNR32]
+		av0, av1 := as0[p*astride], as1[p*astride]
+		for jj := 0; jj < gemmNR32; jj++ {
+			acc[jj] += av0 * bp[jj]
+			acc[gemmNR32+jj] += av1 * bp[jj]
+		}
+	}
+}
+
+func f32DotPanel1x8(a0 *float32, astride int, panel *float32, k int, acc *[8]float32) {
+	clear(acc[:])
+	if k == 0 {
+		return
+	}
+	as0 := unsafe.Slice(a0, (k-1)*astride+1)
+	ps := unsafe.Slice(panel, k*gemmNR32)
+	for p := 0; p < k; p++ {
+		bp := ps[p*gemmNR32 : p*gemmNR32+gemmNR32 : p*gemmNR32+gemmNR32]
+		av := as0[p*astride]
+		for jj := 0; jj < gemmNR32; jj++ {
+			acc[jj] += av * bp[jj]
+		}
+	}
+}

@@ -30,10 +30,21 @@ func (g ConvGeom) ColRows() int { return g.OutH * g.OutW }
 // ColCols returns the number of columns of the im2col matrix (patch size).
 func (g ConvGeom) ColCols() int { return g.InC * g.KH * g.KW }
 
-// Im2Col expands one image (flat, C·H·W) into the patch matrix col
+// Im2Col expands one float64 image (flat, C·H·W) into the patch matrix col.
+// Methods cannot take type parameters, so the float64 methods delegate to the
+// generic Of functions below.
+func (g ConvGeom) Im2Col(img, col []float64) { Im2ColOf(g, img, col) }
+
+// Im2ColPacked is the float64 form of Im2ColPackedOf.
+func (g ConvGeom) Im2ColPacked(img []float64, pb *PackedB) { Im2ColPackedOf(g, img, pb) }
+
+// Col2Im is the float64 form of Col2ImOf.
+func (g ConvGeom) Col2Im(col, dimg []float64) { Col2ImOf(g, col, dimg) }
+
+// Im2ColOf expands one image (flat, C·H·W) into the patch matrix col
 // (OutH·OutW rows × InC·KH·KW cols), so convolution becomes a GEMM:
 // output[outPos × outC] = col · Wᵀ. Out-of-bounds (padding) elements are 0.
-func (g ConvGeom) Im2Col(img, col []float64) {
+func Im2ColOf[F Float](g ConvGeom, img, col []F) {
 	if len(img) != g.InC*g.InH*g.InW {
 		panic("tensor: Im2Col image size mismatch")
 	}
@@ -72,13 +83,14 @@ func (g ConvGeom) Im2Col(img, col []float64) {
 	}
 }
 
-// Im2ColPacked expands one image directly into the packed-panel layout the
-// blocked GEMM consumes as operand B (see PackedB), fusing the im2col pass
+// Im2ColPackedOf expands one image directly into the packed-panel layout the
+// blocked GEMM consumes as operand B (see PackedBOf), fusing the im2col pass
 // with the pack pass: Conv2D's backward packs each sample's patch matrix
 // exactly once, with no intermediate row-major copy. pb must have k =
-// ColRows() and n = ColCols(); the values are identical to Im2Col followed by
-// PackedB.Pack.
-func (g ConvGeom) Im2ColPacked(img []float64, pb *PackedB) {
+// ColRows() and n = ColCols(); the values are identical to Im2ColOf followed
+// by PackedBOf.Pack. The panel width follows the dtype's tile geometry
+// (4-wide for float64, 8-wide for float32).
+func Im2ColPackedOf[F Float](g ConvGeom, img []F, pb *PackedBOf[F]) {
 	rows, cols := g.ColRows(), g.ColCols()
 	if len(img) != g.InC*g.InH*g.InW {
 		panic("tensor: Im2ColPacked image size mismatch")
@@ -86,26 +98,27 @@ func (g ConvGeom) Im2ColPacked(img []float64, pb *PackedB) {
 	if pb.k != rows || pb.n != cols {
 		panic(fmt.Sprintf("tensor: Im2ColPacked packed shape [%d %d], want [%d %d]", pb.k, pb.n, rows, cols))
 	}
+	nr := gemmNROf[F]()
 	dst := pb.data
-	kNR := rows * gemmNR
+	kNR := rows * nr
 	// Zero the panel-padding columns past cols' edge once; the loop below
 	// writes every real (position, patch) slot exactly once.
-	if w := cols % gemmNR; w != 0 {
-		lastPanel := dst[(cols/gemmNR)*kNR:]
+	if w := cols % nr; w != 0 {
+		lastPanel := dst[(cols/nr)*kNR:]
 		for p := 0; p < rows; p++ {
-			for jj := w; jj < gemmNR; jj++ {
-				lastPanel[p*gemmNR+jj] = 0
+			for jj := w; jj < nr; jj++ {
+				lastPanel[p*nr+jj] = 0
 			}
 		}
 	}
 	for oy := 0; oy < g.OutH; oy++ {
 		for ox := 0; ox < g.OutW; ox++ {
-			rowOff4 := (oy*g.OutW + ox) * gemmNR
+			rowOffNR := (oy*g.OutW + ox) * nr
 			panelBase, jj := 0, 0
-			put := func(v float64) {
-				dst[panelBase+rowOff4+jj] = v
+			put := func(v F) {
+				dst[panelBase+rowOffNR+jj] = v
 				jj++
-				if jj == gemmNR {
+				if jj == nr {
 					jj = 0
 					panelBase += kNR
 				}
@@ -135,10 +148,10 @@ func (g ConvGeom) Im2ColPacked(img []float64, pb *PackedB) {
 	}
 }
 
-// Col2Im scatter-adds the patch matrix gradient back into the image gradient
-// (the adjoint of Im2Col). dimg must be zeroed by the caller if accumulation
-// from a clean slate is desired.
-func (g ConvGeom) Col2Im(col, dimg []float64) {
+// Col2ImOf scatter-adds the patch matrix gradient back into the image
+// gradient (the adjoint of Im2Col). dimg must be zeroed by the caller if
+// accumulation from a clean slate is desired.
+func Col2ImOf[F Float](g ConvGeom, col, dimg []F) {
 	if len(dimg) != g.InC*g.InH*g.InW {
 		panic("tensor: Col2Im image size mismatch")
 	}

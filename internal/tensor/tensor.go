@@ -1,6 +1,12 @@
-// Package tensor implements dense float64 tensors and the linear-algebra
+// Package tensor implements dense float tensors and the linear-algebra
 // kernels (parallel GEMM, im2col) that back the neural-network layers used in
 // the FedCA reproduction.
+//
+// The element type is generic: TensorOf[F] works over any Float (float32 or
+// float64), and Tensor is an alias for TensorOf[float64] so the historical
+// float64 API is unchanged. Kernels are instantiated per dtype with
+// dtype-selected tile geometry (see gemm.go); each dtype's blocked path is
+// bit-identical to its own reference kernel.
 //
 // Tensors are always contiguous in row-major order. Reshape returns a view
 // sharing the underlying storage; Clone copies. The package is deliberately
@@ -14,26 +20,43 @@ import (
 	"math"
 )
 
-// Tensor is a dense, contiguous, row-major float64 tensor.
-type Tensor struct {
-	data  []float64
+// Float is the element-type constraint of every kernel in this package.
+type Float interface {
+	~float32 | ~float64
+}
+
+// TensorOf is a dense, contiguous, row-major tensor over element type F.
+type TensorOf[F Float] struct {
+	data  []F
 	shape []int
 }
 
-// New returns a zero-filled tensor with the given shape.
-func New(shape ...int) *Tensor {
+// Tensor is the float64 tensor the training stack historically used; every
+// float64 call site compiles unchanged against the generic implementation.
+type Tensor = TensorOf[float64]
+
+// New returns a zero-filled float64 tensor with the given shape.
+func New(shape ...int) *Tensor { return NewOf[float64](shape...) }
+
+// NewOf returns a zero-filled tensor of element type F with the given shape.
+func NewOf[F Float](shape ...int) *TensorOf[F] {
 	n := checkShape(shape)
-	return &Tensor{data: make([]float64, n), shape: append([]int(nil), shape...)}
+	return &TensorOf[F]{data: make([]F, n), shape: append([]int(nil), shape...)}
 }
 
-// FromSlice wraps data in a tensor of the given shape. The tensor takes
+// FromSlice wraps data in a float64 tensor of the given shape. The tensor
+// takes ownership of data (no copy). It panics if len(data) does not match
+// shape.
+func FromSlice(data []float64, shape ...int) *Tensor { return FromSliceOf(data, shape...) }
+
+// FromSliceOf wraps data in a tensor of the given shape. The tensor takes
 // ownership of data (no copy). It panics if len(data) does not match shape.
-func FromSlice(data []float64, shape ...int) *Tensor {
+func FromSliceOf[F Float](data []F, shape ...int) *TensorOf[F] {
 	n := checkShape(shape)
 	if len(data) != n {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d)", len(data), shape, n))
 	}
-	return &Tensor{data: data, shape: append([]int(nil), shape...)}
+	return &TensorOf[F]{data: data, shape: append([]int(nil), shape...)}
 }
 
 func checkShape(shape []int) int {
@@ -43,7 +66,11 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			// The panic path copies the shape before formatting: handing the
+			// slice to Sprintf directly would leak it to the heap at every
+			// call site, forcing the caller's variadic shape literal onto the
+			// heap even on the (always-taken) happy path.
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}
@@ -51,38 +78,49 @@ func checkShape(shape []int) int {
 }
 
 // Shape returns the tensor's shape. The returned slice must not be modified.
-func (t *Tensor) Shape() []int { return t.shape }
+func (t *TensorOf[F]) Shape() []int { return t.shape }
 
 // Size returns the total number of elements.
-func (t *Tensor) Size() int { return len(t.data) }
+func (t *TensorOf[F]) Size() int { return len(t.data) }
 
 // Data returns the underlying storage. Mutations are visible to all views.
-func (t *Tensor) Data() []float64 { return t.data }
+func (t *TensorOf[F]) Data() []F { return t.data }
 
 // Dim returns the size of dimension i.
-func (t *Tensor) Dim(i int) int { return t.shape[i] }
+func (t *TensorOf[F]) Dim(i int) int { return t.shape[i] }
 
 // Rank returns the number of dimensions.
-func (t *Tensor) Rank() int { return len(t.shape) }
+func (t *TensorOf[F]) Rank() int { return len(t.shape) }
 
 // Reshape returns a view of t with a new shape of equal total size.
-func (t *Tensor) Reshape(shape ...int) *Tensor {
+func (t *TensorOf[F]) Reshape(shape ...int) *TensorOf[F] {
 	n := checkShape(shape)
 	if n != len(t.data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
 	}
-	return &Tensor{data: t.data, shape: append([]int(nil), shape...)}
+	return &TensorOf[F]{data: t.data, shape: append([]int(nil), shape...)}
 }
 
 // Clone returns a deep copy of t.
-func (t *Tensor) Clone() *Tensor {
-	d := make([]float64, len(t.data))
+func (t *TensorOf[F]) Clone() *TensorOf[F] {
+	d := make([]F, len(t.data))
 	copy(d, t.data)
-	return &Tensor{data: d, shape: append([]int(nil), t.shape...)}
+	return &TensorOf[F]{data: d, shape: append([]int(nil), t.shape...)}
+}
+
+// Rebind points t at new backing storage of the same total size, keeping its
+// shape. It exists for pooled scratch headers that wrap a different sub-slice
+// on every call (e.g. one sample's rows of a batch buffer) without minting a
+// fresh header each time. It panics if len(data) differs from t's size.
+func (t *TensorOf[F]) Rebind(data []F) {
+	if len(data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: Rebind length %d does not match tensor size %d", len(data), len(t.data)))
+	}
+	t.data = data
 }
 
 // CopyFrom copies src's elements into t. Shapes must have equal total size.
-func (t *Tensor) CopyFrom(src *Tensor) {
+func (t *TensorOf[F]) CopyFrom(src *TensorOf[F]) {
 	if len(t.data) != len(src.data) {
 		panic("tensor: CopyFrom size mismatch")
 	}
@@ -90,26 +128,24 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 }
 
 // Zero sets every element to 0.
-func (t *Tensor) Zero() {
-	for i := range t.data {
-		t.data[i] = 0
-	}
+func (t *TensorOf[F]) Zero() {
+	clear(t.data)
 }
 
 // Fill sets every element to v.
-func (t *Tensor) Fill(v float64) {
+func (t *TensorOf[F]) Fill(v F) {
 	for i := range t.data {
 		t.data[i] = v
 	}
 }
 
 // At returns the element at the given multi-dimensional index.
-func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+func (t *TensorOf[F]) At(idx ...int) F { return t.data[t.offset(idx)] }
 
 // Set assigns the element at the given multi-dimensional index.
-func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+func (t *TensorOf[F]) Set(v F, idx ...int) { t.data[t.offset(idx)] = v }
 
-func (t *Tensor) offset(idx []int) int {
+func (t *TensorOf[F]) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
 	}
@@ -124,7 +160,7 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // SameShape reports whether t and o have identical shapes.
-func (t *Tensor) SameShape(o *Tensor) bool {
+func (t *TensorOf[F]) SameShape(o *TensorOf[F]) bool {
 	if len(t.shape) != len(o.shape) {
 		return false
 	}
@@ -136,14 +172,14 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 	return true
 }
 
-func assertSameSize(a, b *Tensor, op string) {
+func assertSameSize[F Float](a, b *TensorOf[F], op string) {
 	if len(a.data) != len(b.data) {
 		panic(fmt.Sprintf("tensor: %s size mismatch: %v vs %v", op, a.shape, b.shape))
 	}
 }
 
 // AddInto sets t = a + b elementwise (sizes must match).
-func (t *Tensor) AddInto(a, b *Tensor) {
+func (t *TensorOf[F]) AddInto(a, b *TensorOf[F]) {
 	assertSameSize(a, b, "Add")
 	assertSameSize(t, a, "Add")
 	for i := range t.data {
@@ -152,7 +188,7 @@ func (t *Tensor) AddInto(a, b *Tensor) {
 }
 
 // Add adds o to t in place.
-func (t *Tensor) Add(o *Tensor) {
+func (t *TensorOf[F]) Add(o *TensorOf[F]) {
 	assertSameSize(t, o, "Add")
 	for i := range t.data {
 		t.data[i] += o.data[i]
@@ -160,7 +196,7 @@ func (t *Tensor) Add(o *Tensor) {
 }
 
 // Sub subtracts o from t in place.
-func (t *Tensor) Sub(o *Tensor) {
+func (t *TensorOf[F]) Sub(o *TensorOf[F]) {
 	assertSameSize(t, o, "Sub")
 	for i := range t.data {
 		t.data[i] -= o.data[i]
@@ -168,7 +204,7 @@ func (t *Tensor) Sub(o *Tensor) {
 }
 
 // SubInto sets t = a − b elementwise.
-func (t *Tensor) SubInto(a, b *Tensor) {
+func (t *TensorOf[F]) SubInto(a, b *TensorOf[F]) {
 	assertSameSize(a, b, "Sub")
 	assertSameSize(t, a, "Sub")
 	for i := range t.data {
@@ -177,7 +213,7 @@ func (t *Tensor) SubInto(a, b *Tensor) {
 }
 
 // MulElem multiplies t by o elementwise in place.
-func (t *Tensor) MulElem(o *Tensor) {
+func (t *TensorOf[F]) MulElem(o *TensorOf[F]) {
 	assertSameSize(t, o, "MulElem")
 	for i := range t.data {
 		t.data[i] *= o.data[i]
@@ -185,24 +221,25 @@ func (t *Tensor) MulElem(o *Tensor) {
 }
 
 // Scale multiplies every element of t by s.
-func (t *Tensor) Scale(s float64) {
+func (t *TensorOf[F]) Scale(s F) {
 	for i := range t.data {
 		t.data[i] *= s
 	}
 }
 
 // AXPY performs t += alpha * x.
-func (t *Tensor) AXPY(alpha float64, x *Tensor) {
+func (t *TensorOf[F]) AXPY(alpha F, x *TensorOf[F]) {
 	assertSameSize(t, x, "AXPY")
 	for i := range t.data {
 		t.data[i] += alpha * x.data[i]
 	}
 }
 
-// Dot returns the inner product of t and o viewed as flat vectors.
-func Dot(a, b *Tensor) float64 {
+// Dot returns the inner product of a and b viewed as flat vectors,
+// accumulated in the tensors' own element type.
+func Dot[F Float](a, b *TensorOf[F]) F {
 	assertSameSize(a, b, "Dot")
-	s := 0.0
+	var s F
 	for i := range a.data {
 		s += a.data[i] * b.data[i]
 	}
@@ -210,17 +247,17 @@ func Dot(a, b *Tensor) float64 {
 }
 
 // Norm returns the L2 norm of t viewed as a flat vector.
-func (t *Tensor) Norm() float64 {
-	s := 0.0
+func (t *TensorOf[F]) Norm() F {
+	var s F
 	for _, v := range t.data {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	return F(math.Sqrt(float64(s)))
 }
 
 // Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
-	s := 0.0
+func (t *TensorOf[F]) Sum() F {
+	var s F
 	for _, v := range t.data {
 		s += v
 	}
@@ -228,10 +265,10 @@ func (t *Tensor) Sum() float64 {
 }
 
 // MaxAbs returns the largest absolute element value (0 for empty data).
-func (t *Tensor) MaxAbs() float64 {
-	m := 0.0
+func (t *TensorOf[F]) MaxAbs() F {
+	var m F
 	for _, v := range t.data {
-		if a := math.Abs(v); a > m {
+		if a := F(math.Abs(float64(v))); a > m {
 			m = a
 		}
 	}
@@ -240,7 +277,7 @@ func (t *Tensor) MaxAbs() float64 {
 
 // ArgMaxRow returns, for a 2-D tensor, the index of the maximum element in
 // row r. Ties resolve to the lowest index.
-func (t *Tensor) ArgMaxRow(r int) int {
+func (t *TensorOf[F]) ArgMaxRow(r int) int {
 	if len(t.shape) != 2 {
 		panic("tensor: ArgMaxRow requires a 2-D tensor")
 	}
@@ -258,21 +295,24 @@ func (t *Tensor) ArgMaxRow(r int) int {
 // CosineSimilarity returns the cosine similarity of a and b viewed as flat
 // vectors. If either vector has zero norm the result is 0 unless both are
 // zero, in which case it is 1 (two zero updates are identical).
-func CosineSimilarity(a, b *Tensor) float64 {
+func CosineSimilarity[F Float](a, b *TensorOf[F]) float64 {
 	assertSameSize(a, b, "CosineSimilarity")
-	return CosineSimilaritySlices(a.data, b.data)
+	return cosineSlices(a.data, b.data)
 }
 
-// CosineSimilaritySlices is CosineSimilarity over raw slices.
-func CosineSimilaritySlices(a, b []float64) float64 {
+// CosineSimilaritySlices is CosineSimilarity over raw float64 slices.
+func CosineSimilaritySlices(a, b []float64) float64 { return cosineSlices(a, b) }
+
+func cosineSlices[F Float](a, b []F) float64 {
 	if len(a) != len(b) {
 		panic("tensor: CosineSimilaritySlices length mismatch")
 	}
 	var dot, na, nb float64
 	for i := range a {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
+		av, bv := float64(a[i]), float64(b[i])
+		dot += av * bv
+		na += av * av
+		nb += bv * bv
 	}
 	if na == 0 && nb == 0 {
 		return 1
@@ -284,6 +324,6 @@ func CosineSimilaritySlices(a, b []float64) float64 {
 }
 
 // String renders a compact description, useful in test failures.
-func (t *Tensor) String() string {
+func (t *TensorOf[F]) String() string {
 	return fmt.Sprintf("Tensor%v", t.shape)
 }
